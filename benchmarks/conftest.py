@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at reduced
+scale (fewer tuning runs, fewer iterations, smaller fleets) and prints the
+same rows/series the paper reports.  Absolute numbers come from the simulated
+substrate; the *shape* (who wins, by roughly what factor, where crossovers
+fall) is what should match the paper.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _runner

@@ -1,0 +1,21 @@
+"""Fig. 2 — tuner convergence under 0/5/10 % synthetic sampling noise."""
+
+from repro.experiments.noise_convergence import format_report, run_noise_convergence
+
+
+def test_bench_fig02_noise_convergence(once):
+    result = once(
+        run_noise_convergence,
+        noise_levels=(0.0, 0.05, 0.10),
+        n_runs=4,
+        n_iterations=35,
+        seed=0,
+    )
+    print("\n" + format_report(result))
+
+    # Shape: more noise => slower (or at best equal) time-to-optimal.
+    ratio_5 = result.time_to_optimal_ratio(0.05)
+    ratio_10 = result.time_to_optimal_ratio(0.10)
+    assert ratio_5 >= 1.0
+    assert ratio_10 >= ratio_5 * 0.9  # allow small-sample wiggle
+    # Paper: 2.50x at 5% noise, 4.35x at 10% noise.

@@ -1,0 +1,15 @@
+"""Fig. 3 — burstable vs non-burstable VM performance distributions."""
+
+from repro.experiments.cloud_study import format_report, run_cloud_study
+
+
+def test_bench_fig03_burstable(once):
+    summary = once(
+        run_cloud_study, regions=("westus2", "eastus"), weeks=8, short_vms_per_week=5, seed=3
+    )
+    print("\n" + format_report(summary))
+
+    # Shape: burstable VMs show a much wider relative-performance spread than
+    # non-burstable VMs for both end-to-end benchmarks.
+    for bench in ("postgres-pgbench-rw", "redis-benchmark-write"):
+        assert summary.burstable_std[bench] > 2.0 * summary.nonburstable_std[bench]

@@ -1,0 +1,28 @@
+"""Fig. 4 + Table 1 — component-level cloud variability (CoV)."""
+
+from repro.experiments.cloud_study import PAPER_COVS, format_report, run_cloud_study
+
+
+def test_bench_fig04_microbench(once):
+    summary = once(
+        run_cloud_study,
+        regions=("westus2", "eastus"),
+        weeks=10,
+        short_vms_per_week=6,
+        seed=4,
+        include_burstable=False,
+    )
+    print("\n" + format_report(summary))
+
+    cov = summary.component_cov
+    # Shape: cpu and disk are essentially noise-free; memory, OS and cache are
+    # one to two orders of magnitude noisier, in the paper's order.
+    assert cov["cpu"] < 0.01
+    assert cov["disk"] < 0.02
+    assert cov["memory"] > 0.02
+    assert cov["os"] > cov["memory"] * 0.8
+    assert cov["cache"] > cov["memory"]
+    assert cov["cache"] > 0.06
+    # Within a factor of ~2 of the paper's reported CoVs.
+    for component, paper_value in PAPER_COVS.items():
+        assert cov[component] < paper_value * 3 + 0.01

@@ -1,0 +1,32 @@
+"""Fig. 6 — memory bandwidth: one long-running VM vs the short-lived fleet."""
+
+import numpy as np
+
+from repro.experiments.cloud_study import run_cloud_study
+
+
+def test_bench_fig06_longitudinal(once):
+    summary = once(
+        run_cloud_study,
+        regions=("westus2",),
+        weeks=16,
+        short_vms_per_week=6,
+        seed=6,
+        include_burstable=False,
+    )
+    trace = summary.study.long_lived_trace("mlc-max-bandwidth", "westus2")
+    short = summary.study.short_lived["mlc-max-bandwidth"]["westus2"]
+
+    print("\nFig. 6 — memory bandwidth (GB/s) per simulated week")
+    for week, value in trace:
+        print(f"  week {week:>2}: long-running VM = {value:6.2f}")
+    print(f"  short-lived fleet: mean={np.mean(short):6.2f}  min={np.min(short):6.2f} "
+          f"max={np.max(short):6.2f}  n={len(short)}")
+
+    long_std, short_std = summary.long_vs_short_std["mlc-max-bandwidth"]
+    print(f"  std long-running={long_std:.2f}  std short-lived={short_std:.2f}")
+
+    # Shape: the short-lived fleet spans a wider range than a single
+    # long-running VM drifts over the same period.
+    long_values = [v for _, v in trace]
+    assert (np.max(short) - np.min(short)) >= (np.max(long_values) - np.min(long_values))

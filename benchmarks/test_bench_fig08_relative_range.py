@@ -1,0 +1,23 @@
+"""Fig. 8 — relative-range distribution of configurations seen during tuning."""
+
+from repro.experiments.unstable_configs import relative_range_distribution
+
+
+def test_bench_fig08_relative_range(once):
+    distribution = once(relative_range_distribution, n_configs=120, n_nodes=10, seed=8)
+
+    counts, edges = distribution.histogram(bins=20)
+    print("\nFig. 8 — relative-range histogram (10 nodes per config)")
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(count)
+        print(f"  {lo:5.2f}-{hi:5.2f}: {bar} ({count})")
+    print(
+        f"\n  stable (≤30%): {distribution.stable_fraction:.0%}   "
+        f"unstable (>30%): {distribution.unstable_fraction:.0%} "
+        "(paper: 39% of configs seen during tuning were unstable)"
+    )
+
+    # Shape: a clear majority of uniformly random configs are stable, a
+    # substantial minority is unstable, and the threshold separates them.
+    assert 0.02 < distribution.unstable_fraction < 0.7
+    assert distribution.stable_fraction > 0.3

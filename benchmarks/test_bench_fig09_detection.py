@@ -1,0 +1,20 @@
+"""Fig. 9 — probability of catching every unstable config vs cluster size."""
+
+from repro.experiments.unstable_configs import detection_probability_curve
+
+
+def test_bench_fig09_detection(once):
+    curve = once(detection_probability_curve, max_nodes=15, n_trials=2_000, seed=9)
+
+    print("\nFig. 9 — detection probability by number of sampling nodes")
+    for count, probability in zip(curve.sample_counts, curve.detection_probability):
+        print(f"  {count:>2} nodes: {probability:6.1%}")
+    print(f"  smallest cluster reaching 95%: {curve.smallest_cluster_for(0.95)} (paper: 10)")
+
+    # Shape: monotone increasing (roughly), 1 node can never detect anything,
+    # and ~10 nodes reach the 95% confidence level used in the paper.
+    assert curve.detection_probability[0] == 0.0
+    assert curve.detection_probability[-1] >= 0.9
+    smallest = curve.smallest_cluster_for(0.95)
+    assert smallest is not None
+    assert 6 <= smallest <= 15

@@ -1,0 +1,41 @@
+"""Fig. 11a-d — PostgreSQL across TPC-C, epinions, TPC-H and mssales."""
+
+import pytest
+
+from repro.experiments.generalization import compare_samplers, format_report
+
+
+@pytest.mark.parametrize(
+    "workload,figure",
+    [
+        ("tpcc", "Fig. 11a"),
+        ("epinions", "Fig. 11b"),
+        ("tpch", "Fig. 11c"),
+        ("mssales", "Fig. 11d"),
+    ],
+)
+def test_bench_fig11_workloads(once, workload, figure):
+    result = once(
+        compare_samplers,
+        system_name="postgres",
+        workload_name=workload,
+        samplers=("tuna", "traditional"),
+        n_runs=3,
+        n_iterations=30,
+        seed=11,
+    )
+    print("\n" + format_report(result, figure=f"{figure} (PostgreSQL, {workload})"))
+
+    tuna = result.arms["tuna"]
+    traditional = result.arms["traditional"]
+    if result.higher_is_better:
+        # TUNA's mean is at worst modestly below traditional's ...
+        assert tuna.mean_performance > 0.7 * traditional.mean_performance
+        # ... and both beat or match the default configuration.
+        assert tuna.mean_performance >= result.default_arm.mean_performance * 0.95
+    else:
+        assert tuna.mean_performance < 1.4 * traditional.mean_performance
+        assert tuna.mean_performance <= result.default_arm.mean_performance * 1.05
+    # The headline: TUNA's deployment variability never exceeds traditional's
+    # (the paper reports large reductions on TPC-C/epinions and parity on OLAP).
+    assert tuna.mean_std <= traditional.mean_std * 1.2

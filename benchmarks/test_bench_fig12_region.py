@@ -1,0 +1,23 @@
+"""Fig. 12 — generalisation to a noisier region (centralus)."""
+
+from repro.experiments.generalization import compare_samplers, format_report
+
+
+def test_bench_fig12_region(once):
+    result = once(
+        compare_samplers,
+        system_name="postgres",
+        workload_name="tpcc",
+        region="centralus",
+        samplers=("tuna", "traditional"),
+        n_runs=3,
+        n_iterations=30,
+        seed=12,
+    )
+    print("\n" + format_report(result, figure="Fig. 12 (TPC-C, centralus)"))
+
+    tuna = result.arms["tuna"]
+    traditional = result.arms["traditional"]
+    assert tuna.mean_performance > 0.7 * traditional.mean_performance
+    assert tuna.mean_std <= traditional.mean_std * 1.2
+    assert result.improvement_over_default("tuna") > 0.0

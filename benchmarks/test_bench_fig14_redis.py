@@ -1,0 +1,24 @@
+"""Fig. 14 — Redis / YCSB-C: crashes and P95 latency."""
+
+from repro.experiments.generalization import compare_samplers, format_report
+
+
+def test_bench_fig14_redis(once):
+    result = once(
+        compare_samplers,
+        system_name="redis",
+        workload_name="ycsb-c",
+        samplers=("tuna", "traditional"),
+        n_runs=3,
+        n_iterations=30,
+        seed=14,
+    )
+    print("\n" + format_report(result, figure="Fig. 14 (Redis, YCSB-C P95 latency)"))
+
+    tuna = result.arms["tuna"]
+    traditional = result.arms["traditional"]
+    # Shape (paper): TUNA's latency is close to the default/traditional, but
+    # TUNA deployments do not crash, while traditional sampling's picks do.
+    assert tuna.total_crashes <= traditional.total_crashes
+    assert tuna.mean_std <= traditional.mean_std * 1.1
+    assert tuna.mean_performance < result.default_arm.mean_performance * 1.3

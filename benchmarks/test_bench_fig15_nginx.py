@@ -1,0 +1,24 @@
+"""Fig. 15 — NGINX serving the top-500 Wikipedia pages (P95 latency)."""
+
+from repro.experiments.generalization import compare_samplers, format_report
+
+
+def test_bench_fig15_nginx(once):
+    result = once(
+        compare_samplers,
+        system_name="nginx",
+        workload_name="wikipedia-top500",
+        samplers=("tuna", "traditional"),
+        n_runs=3,
+        n_iterations=30,
+        seed=15,
+    )
+    print("\n" + format_report(result, figure="Fig. 15 (NGINX, Wikipedia top-500)"))
+
+    tuna = result.arms["tuna"]
+    traditional = result.arms["traditional"]
+    # Shape: both tuned arms beat the default P95 latency clearly; TUNA's
+    # deployment variability is no worse than traditional's.
+    assert result.improvement_over_default("tuna") > 0.10
+    assert result.improvement_over_default("traditional") > 0.05
+    assert tuna.mean_std <= traditional.mean_std * 1.25

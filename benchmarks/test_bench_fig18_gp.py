@@ -1,0 +1,15 @@
+"""Fig. 18 — TUNA vs traditional sampling under a Gaussian-process optimizer."""
+
+from repro.experiments.component_analysis import format_gp_report, run_gp_optimizer_comparison
+
+
+def test_bench_fig18_gp(once):
+    result = once(run_gp_optimizer_comparison, workload_name="tpcc", n_runs=2, n_iterations=25, seed=18)
+    print("\n" + format_gp_report(result))
+
+    tuna = result.arms["tuna"]
+    traditional = result.arms["traditional"]
+    # Shape: the benefits carry over to a different optimizer — variability is
+    # no worse and performance is competitive.
+    assert tuna.mean_std <= traditional.mean_std * 1.2
+    assert tuna.mean_performance > 0.7 * traditional.mean_performance

@@ -1,0 +1,28 @@
+"""Fig. 19 — ablation of the noise-adjuster model (convergence + error)."""
+
+import numpy as np
+
+from repro.experiments.component_analysis import (
+    format_ablation_report,
+    run_noise_adjuster_ablation,
+)
+
+
+def test_bench_fig19_noise_adjuster(once):
+    result = once(
+        run_noise_adjuster_ablation,
+        workload_name="epinions",
+        n_runs=2,
+        n_iterations=35,
+        seed=19,
+    )
+    print("\n" + format_ablation_report(result, "Fig. 19"))
+
+    with_model = result.mean_reporting_error("tuna")
+    without_model = result.mean_reporting_error("tuna-no-model")
+    # Shape: the model's reported values are at least as close to the
+    # max-budget ground truth as the unadjusted ones (paper: 35-67% closer),
+    # and convergence with the model is not slower.
+    if np.isfinite(with_model) and np.isfinite(without_model):
+        assert with_model <= without_model * 1.15
+    assert result.convergence_speedup() >= 0.8

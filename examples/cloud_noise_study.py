@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Run a scaled-down version of the paper's longitudinal cloud study (§3.2).
+
+Provision a fleet of short-lived VMs plus a long-running VM per region on the
+simulated cloud, run the five resource microbenchmarks and the two end-to-end
+application benchmarks on them, and report the per-component coefficients of
+variation (Fig. 4), the burstable-vs-non-burstable spread (Fig. 3) and the
+long-vs-short-lived comparison (Fig. 6).
+
+Run with:  python examples/cloud_noise_study.py [--weeks N]
+"""
+
+import argparse
+
+from repro.experiments.cloud_study import format_report, run_cloud_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--weeks", type=int, default=10, help="simulated study length")
+    parser.add_argument("--vms-per-week", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    summary = run_cloud_study(
+        weeks=args.weeks, short_vms_per_week=args.vms_per_week, seed=args.seed
+    )
+    print(format_report(summary))
+
+
+if __name__ == "__main__":
+    main()

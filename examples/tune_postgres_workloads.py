@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare TUNA against traditional single-node sampling on PostgreSQL.
+
+Reproduces the shape of Fig. 11 at small scale: for each workload, both
+methodologies tune offline, their best configurations are deployed on fresh
+nodes, and the deployment mean/std are reported.  TUNA should match (or beat)
+traditional sampling on mean performance while cutting the standard deviation
+dramatically, because it refuses to promote unstable configurations.
+
+Run with:  python examples/tune_postgres_workloads.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments.generalization import compare_samplers, format_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer runs/iterations")
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["tpcc", "epinions"],
+        choices=["tpcc", "epinions", "tpch", "mssales"],
+    )
+    args = parser.parse_args()
+
+    n_runs = 2 if args.quick else 4
+    n_iterations = 25 if args.quick else 50
+
+    for workload in args.workloads:
+        result = compare_samplers(
+            system_name="postgres",
+            workload_name=workload,
+            samplers=("tuna", "traditional"),
+            n_runs=n_runs,
+            n_iterations=n_iterations,
+            seed=1,
+        )
+        print(format_report(result, figure=f"Fig. 11 ({workload})"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

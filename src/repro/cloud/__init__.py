@@ -1,0 +1,78 @@
+"""Cloud-platform simulation substrate.
+
+The paper's measurements and tuning runs execute on Azure VMs and CloudLab
+bare-metal nodes.  This package provides a synthetic but statistically
+faithful stand-in:
+
+* :mod:`repro.cloud.regions` — per-region / per-SKU *noise profiles*
+  calibrated to the component-level coefficients of variation reported in
+  §3.2 of the paper (CPU 0.17 %, disk 0.36 %, memory 4.92 %, OS 9.82 %,
+  cache 14.39 %).
+* :mod:`repro.cloud.vm` — a :class:`VirtualMachine` whose per-component
+  performance combines a persistent node factor (which physical host you
+  landed on), slow temporal drift, noisy-neighbour interference episodes and
+  measurement noise, plus burstable-credit accounting.
+* :mod:`repro.cloud.cluster` — a :class:`Cluster` of worker VMs plus an
+  orchestrator, the execution environment used by the tuners.
+* :mod:`repro.cloud.telemetry` — psutil-style guest-OS metrics that expose
+  (noisily) the node state, which is what the TUNA noise adjuster learns from.
+* :mod:`repro.cloud.microbench` — the five resource microbenchmarks used by
+  the longitudinal study (Fig. 4).
+* :mod:`repro.cloud.study` — the longitudinal measurement study harness
+  (Figs. 3, 4, 6 and Table 1).
+"""
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.credits import BurstableCreditAccount
+from repro.cloud.microbench import (
+    MICROBENCHMARKS,
+    Microbenchmark,
+    microbenchmark_by_name,
+)
+from repro.cloud.regions import (
+    AZURE_CENTRALUS,
+    AZURE_EASTUS,
+    AZURE_WESTUS2,
+    CLOUDLAB_WISCONSIN,
+    REGIONS,
+    SKU_B8MS,
+    SKU_C220G5,
+    SKU_D8S_V5,
+    SKUS,
+    ComponentNoise,
+    RegionProfile,
+    VMSku,
+    get_region,
+    get_sku,
+)
+from repro.cloud.telemetry import TELEMETRY_METRICS, TelemetrySample
+from repro.cloud.vm import Component, VirtualMachine
+from repro.cloud.study import LongitudinalStudy, StudyResult
+
+__all__ = [
+    "AZURE_CENTRALUS",
+    "AZURE_EASTUS",
+    "AZURE_WESTUS2",
+    "BurstableCreditAccount",
+    "CLOUDLAB_WISCONSIN",
+    "Cluster",
+    "Component",
+    "ComponentNoise",
+    "LongitudinalStudy",
+    "MICROBENCHMARKS",
+    "Microbenchmark",
+    "REGIONS",
+    "RegionProfile",
+    "SKUS",
+    "SKU_B8MS",
+    "SKU_C220G5",
+    "SKU_D8S_V5",
+    "StudyResult",
+    "TELEMETRY_METRICS",
+    "TelemetrySample",
+    "VMSku",
+    "VirtualMachine",
+    "get_region",
+    "get_sku",
+    "microbenchmark_by_name",
+]

@@ -1,0 +1,121 @@
+"""Worker clusters: the execution environment seen by the tuners.
+
+The paper's setup (§6) is a fixed cluster of 10 worker VMs plus one
+orchestrator.  Traditional sampling uses a single worker; TUNA distributes
+samples across all of them.  For deployment evaluation (the "apply the best
+config to new systems" step) a set of *fresh* nodes is provisioned from the
+same region/SKU, which is exactly what :meth:`Cluster.provision_fresh_nodes`
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.regions import RegionProfile, VMSku, get_region, get_sku
+from repro.cloud.vm import VirtualMachine
+
+
+class Cluster:
+    """A named set of worker VMs drawn from one region and SKU.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker nodes (the paper uses 10).
+    region, sku:
+        Region profile / SKU, by object or by name.
+    seed:
+        Master seed; workers get independent child seeds, so two clusters
+        built with the same seed contain identical nodes.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 10,
+        region: "RegionProfile | str" = "westus2",
+        sku: "VMSku | str" = "Standard_D8s_v5",
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.region = get_region(region) if isinstance(region, str) else region
+        self.sku = get_sku(sku) if isinstance(sku, str) else sku
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
+        self._fresh_counter = 0
+        self.workers: List[VirtualMachine] = [
+            self._provision(f"worker-{i}") for i in range(n_workers)
+        ]
+        self.clock_hours = 0.0
+
+    # -- provisioning -------------------------------------------------------
+    def _provision(self, vm_id: str, lifespan: str = "long") -> VirtualMachine:
+        child_seed = self._seed_sequence.spawn(1)[0]
+        return VirtualMachine(
+            vm_id=vm_id,
+            sku=self.sku,
+            region=self.region,
+            lifespan=lifespan,
+            seed=int(np.random.default_rng(child_seed).integers(0, 2**31 - 1)),
+        )
+
+    def provision_fresh_nodes(self, n: int, lifespan: str = "short") -> List[VirtualMachine]:
+        """Provision ``n`` brand-new VMs from the same region/SKU.
+
+        Used for deployment evaluation: the best configuration found during
+        tuning is re-run on nodes never seen during tuning (§6, "running the
+        best configuration found during tuning on 10 new systems").
+        """
+        if n < 1:
+            raise ValueError("must provision at least one node")
+        nodes = []
+        for _ in range(n):
+            nodes.append(self._provision(f"fresh-{self._fresh_counter}", lifespan))
+            self._fresh_counter += 1
+        return nodes
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def worker(self, vm_id: str) -> VirtualMachine:
+        for vm in self.workers:
+            if vm.vm_id == vm_id:
+                return vm
+        raise KeyError(f"no worker named {vm_id!r}")
+
+    @property
+    def worker_ids(self) -> List[str]:
+        return [vm.vm_id for vm in self.workers]
+
+    # -- time -------------------------------------------------------
+    def advance(self, hours: float) -> None:
+        """Advance the cluster-wide clock (and every worker's local clock)."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        self.clock_hours += hours
+        for vm in self.workers:
+            vm.advance(hours)
+
+    # -- summaries -------------------------------------------------------
+    def node_factor_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-component min/mean/max of persistent node factors (debugging)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for component in ("cpu", "disk", "memory", "os", "cache", "network"):
+            factors = [vm.node_factor(component) for vm in self.workers]
+            summary[component] = {
+                "min": float(np.min(factors)),
+                "mean": float(np.mean(factors)),
+                "max": float(np.max(factors)),
+            }
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(n_workers={self.n_workers}, region={self.region.name!r}, "
+            f"sku={self.sku.name!r})"
+        )

@@ -1,0 +1,79 @@
+"""Burstable-VM CPU/disk credit accounting.
+
+Azure B-series VMs accrue credits while idling below their baseline and spend
+them while bursting above it.  When credits run out, performance collapses to
+the baseline, which is the bimodal behaviour visible in Fig. 3 of the paper
+("bursting credit depletion causes extreme performance bimodality").
+"""
+
+from __future__ import annotations
+
+
+class BurstableCreditAccount:
+    """Tracks burst credits for a single burstable VM.
+
+    Parameters
+    ----------
+    accrual_per_hour:
+        Credits earned per hour of wall-clock time.
+    max_credits:
+        Credit cap; also the initial balance (VMs start with a full bank in
+        this model, matching the high-performing start of the paper's traces).
+    burn_per_hour:
+        Credits consumed per hour while running at full (burst) speed.
+    """
+
+    def __init__(
+        self,
+        accrual_per_hour: float,
+        max_credits: float,
+        burn_per_hour: float = 480.0,
+        initial_fraction: float = 1.0,
+    ) -> None:
+        if accrual_per_hour < 0 or max_credits <= 0 or burn_per_hour <= 0:
+            raise ValueError("credit parameters must be positive")
+        if not 0.0 <= initial_fraction <= 1.0:
+            raise ValueError("initial_fraction must be in [0, 1]")
+        self.accrual_per_hour = float(accrual_per_hour)
+        self.max_credits = float(max_credits)
+        self.burn_per_hour = float(burn_per_hour)
+        self.balance = float(max_credits) * float(initial_fraction)
+
+    @property
+    def depleted(self) -> bool:
+        """True when there are effectively no credits left to burst with."""
+        return self.balance <= 1e-9
+
+    def accrue(self, hours: float) -> None:
+        """Earn credits for ``hours`` of (possibly idle) wall-clock time."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        self.balance = min(self.max_credits, self.balance + hours * self.accrual_per_hour)
+
+    def consume(self, hours: float, utilisation: float = 1.0) -> float:
+        """Burn credits for ``hours`` of work at ``utilisation`` in [0, 1].
+
+        Returns the fraction of the interval that ran at burst speed; the
+        remainder ran at the depleted baseline.  Accrual during the interval
+        is credited first, which is what lets a depleted VM slowly recover.
+        """
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        if not 0.0 <= utilisation <= 1.0:
+            raise ValueError("utilisation must be in [0, 1]")
+        if hours == 0:
+            return 1.0
+        net_burn_rate = self.burn_per_hour * utilisation - self.accrual_per_hour
+        if net_burn_rate <= 0:
+            # Accrual outpaces burn: the whole interval bursts and we bank the rest.
+            self.balance = min(
+                self.max_credits, self.balance - net_burn_rate * hours
+            )
+            return 1.0
+        hours_available = self.balance / net_burn_rate
+        if hours_available >= hours:
+            self.balance -= net_burn_rate * hours
+            return 1.0
+        # Credits run out part-way through the interval.
+        self.balance = 0.0
+        return max(0.0, min(1.0, hours_available / hours))

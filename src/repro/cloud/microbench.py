@@ -1,0 +1,106 @@
+"""Resource microbenchmarks used by the longitudinal cloud study.
+
+These mirror the five microbenchmarks §3.2 of the paper focuses on:
+
+==========  ==========================  =====================
+component   paper tool                  metric (higher better)
+==========  ==========================  =====================
+cpu         sysbench prime verification events/s
+disk        fio random write (libaio)   IOPS
+memory      Intel MLC max bandwidth     GB/s
+os          OSBench thread creation     creations/s
+cache       stress-ng cache             ops/s
+==========  ==========================  =====================
+
+Each benchmark stresses exactly one component, so its measured value is the
+component's nominal value scaled by the VM's component multiplier for that
+measurement — which is how a fleet-wide study recovers the per-component
+coefficients of variation of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.vm import MeasurementContext, VirtualMachine
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A single-component microbenchmark."""
+
+    name: str
+    component: str
+    nominal_value: float
+    unit: str
+    duration_hours: float = 0.05
+    higher_is_better: bool = True
+
+    def run(
+        self,
+        vm: VirtualMachine,
+        rng: Optional[np.random.Generator] = None,
+        context: Optional[MeasurementContext] = None,
+    ) -> float:
+        """Run the benchmark on ``vm`` and return the measured value.
+
+        A pre-sampled ``context`` may be supplied when several benchmarks
+        should observe the same node state (as a real benchmarking sweep on
+        one VM would).
+        """
+        if context is None:
+            context = vm.measure(self.duration_hours, utilisation=0.9, rng=rng)
+        value = self.nominal_value * context.multiplier(self.component)
+        return float(max(value, 0.0))
+
+
+MICROBENCHMARKS: List[Microbenchmark] = [
+    Microbenchmark(
+        name="sysbench-cpu-prime",
+        component="cpu",
+        nominal_value=11_500.0,
+        unit="events/s",
+    ),
+    Microbenchmark(
+        name="fio-randwrite-libaio",
+        component="disk",
+        nominal_value=38_000.0,
+        unit="IOPS",
+    ),
+    Microbenchmark(
+        name="mlc-max-bandwidth",
+        component="memory",
+        nominal_value=68.0,
+        unit="GB/s",
+    ),
+    Microbenchmark(
+        name="osbench-create-threads",
+        component="os",
+        nominal_value=95_000.0,
+        unit="threads/s",
+    ),
+    Microbenchmark(
+        name="stress-ng-cache",
+        component="cache",
+        nominal_value=1_450_000.0,
+        unit="ops/s",
+    ),
+]
+
+
+def microbenchmark_by_name(name: str) -> Microbenchmark:
+    """Look up one of the predefined microbenchmarks."""
+    for bench in MICROBENCHMARKS:
+        if bench.name == name:
+            return bench
+    raise KeyError(f"unknown microbenchmark {name!r}")
+
+
+def run_suite(
+    vm: VirtualMachine, rng: Optional[np.random.Generator] = None
+) -> Dict[str, float]:
+    """Run all microbenchmarks on a VM, one shared node state per benchmark."""
+    return {bench.name: bench.run(vm, rng=rng) for bench in MICROBENCHMARKS}

@@ -1,0 +1,252 @@
+"""Longitudinal cloud measurement study (paper §3.2, Figs. 3, 4, 6, Table 1).
+
+The paper runs a 68-week study over ~43 k Azure VMs: 40 microbenchmarks plus
+13 application benchmarks on long-running and short-running VMs, burstable
+and non-burstable SKUs, in two regions.  :class:`LongitudinalStudy` recreates
+that design at configurable (much smaller) scale on the simulated cloud:
+
+* **short-running VMs** — provisioned, benchmarked once, deprovisioned; they
+  sample the cross-node distribution of a region;
+* **long-running VMs** — kept for the whole study and re-benchmarked every
+  sampling interval; they show slow temporal drift only (Fig. 6);
+* **application benchmarks** — composite component mixes standing in for
+  pgbench on PostgreSQL and redis-benchmark on Redis (Fig. 3), including the
+  burstable-credit bimodality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.microbench import MICROBENCHMARKS, Microbenchmark
+from repro.cloud.regions import RegionProfile, VMSku, get_region, get_sku
+from repro.cloud.vm import VirtualMachine
+from repro.ml.metrics import coefficient_of_variation
+
+
+@dataclass(frozen=True)
+class ApplicationBenchmark:
+    """A composite end-to-end benchmark (pgbench / redis-benchmark stand-in).
+
+    ``component_weights`` give the share of benchmark time bottlenecked on
+    each component; the measured score is the harmonic combination of the
+    node's component multipliers, so a benchmark dominated by a noisy
+    component inherits that component's variance.
+    """
+
+    name: str
+    component_weights: Dict[str, float]
+    nominal_value: float
+    unit: str
+    utilisation: float = 0.9
+    duration_hours: float = 0.25
+
+    def run(self, vm: VirtualMachine, rng: Optional[np.random.Generator] = None) -> float:
+        context = vm.measure(self.duration_hours, utilisation=self.utilisation, rng=rng)
+        total_weight = sum(self.component_weights.values())
+        slowdown = 0.0
+        for component, weight in self.component_weights.items():
+            slowdown += (weight / total_weight) / max(context.multiplier(component), 0.05)
+        return float(self.nominal_value / slowdown)
+
+
+POSTGRES_PGBENCH = ApplicationBenchmark(
+    name="postgres-pgbench-rw",
+    component_weights={"disk": 0.45, "memory": 0.15, "cpu": 0.15, "os": 0.10, "cache": 0.15},
+    nominal_value=8_200.0,
+    unit="tx/s",
+    utilisation=0.95,
+)
+
+REDIS_BENCHMARK = ApplicationBenchmark(
+    name="redis-benchmark-write",
+    component_weights={"memory": 0.35, "cpu": 0.25, "os": 0.20, "cache": 0.15, "network": 0.05},
+    nominal_value=145_000.0,
+    unit="ops/s",
+    utilisation=0.85,
+)
+
+APPLICATION_BENCHMARKS: List[ApplicationBenchmark] = [POSTGRES_PGBENCH, REDIS_BENCHMARK]
+
+
+@dataclass
+class StudyResult:
+    """Raw samples plus summary statistics from a longitudinal study run."""
+
+    #: benchmark -> region -> list of measured values from short-lived VMs
+    short_lived: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    #: benchmark -> region -> list of (week, value) from a long-lived VM
+    long_lived: Dict[str, Dict[str, List[tuple]]] = field(default_factory=dict)
+    #: benchmark -> region -> list of values from burstable short-lived VMs
+    burstable: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    n_vms: int = 0
+    n_samples: int = 0
+    weeks: int = 0
+
+    # -- summaries ---------------------------------------------------------
+    def component_cov(self, benchmark_name: str, region: Optional[str] = None) -> float:
+        """CoV of a benchmark across all short-lived samples (Fig. 4)."""
+        per_region = self.short_lived.get(benchmark_name, {})
+        values: List[float] = []
+        for region_name, samples in per_region.items():
+            if region is None or region_name == region:
+                values.extend(samples)
+        if not values:
+            raise KeyError(f"no samples recorded for {benchmark_name!r}")
+        return coefficient_of_variation(values)
+
+    def relative_performance(
+        self, benchmark_name: str, region: str, burstable: bool = False
+    ) -> np.ndarray:
+        """Samples normalised by their mean (the y-axis of Figs. 3 and 4)."""
+        source = self.burstable if burstable else self.short_lived
+        samples = source.get(benchmark_name, {}).get(region, [])
+        if not samples:
+            raise KeyError(
+                f"no samples recorded for {benchmark_name!r} in {region!r}"
+                f" (burstable={burstable})"
+            )
+        arr = np.asarray(samples, dtype=float)
+        return arr / arr.mean()
+
+    def long_lived_trace(self, benchmark_name: str, region: str) -> List[tuple]:
+        """The (week, value) trace of the long-lived VM (Fig. 6)."""
+        trace = self.long_lived.get(benchmark_name, {}).get(region, [])
+        if not trace:
+            raise KeyError(f"no long-lived trace for {benchmark_name!r} in {region!r}")
+        return list(trace)
+
+    def summary_table(self) -> Dict[str, float]:
+        """Study-scale numbers in the shape of Table 1's last row."""
+        return {
+            "weeks": float(self.weeks),
+            "samples": float(self.n_samples),
+            "instances": float(self.n_vms),
+        }
+
+
+class LongitudinalStudy:
+    """Harness that runs the measurement study on the simulated cloud.
+
+    Parameters
+    ----------
+    regions:
+        Region names to sample (paper: ``westus2`` and ``eastus``).
+    weeks:
+        Study duration in (simulated) weeks.
+    short_vms_per_week:
+        Number of short-lived VMs provisioned per region per week.
+    seed:
+        Master seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[str] = ("westus2", "eastus"),
+        weeks: int = 68,
+        short_vms_per_week: int = 8,
+        seed: Optional[int] = None,
+        sku: str = "Standard_D8s_v5",
+        burstable_sku: str = "Standard_B8ms",
+    ) -> None:
+        if weeks < 1:
+            raise ValueError("weeks must be >= 1")
+        if short_vms_per_week < 1:
+            raise ValueError("short_vms_per_week must be >= 1")
+        self.region_names = list(regions)
+        self.weeks = weeks
+        self.short_vms_per_week = short_vms_per_week
+        self.sku = get_sku(sku)
+        self.burstable_sku = get_sku(burstable_sku)
+        self._rng = np.random.default_rng(seed)
+
+    def _new_vm(self, region: RegionProfile, sku: VMSku, vm_id: str, lifespan: str) -> VirtualMachine:
+        return VirtualMachine(
+            vm_id=vm_id,
+            sku=sku,
+            region=region,
+            lifespan=lifespan,
+            seed=int(self._rng.integers(0, 2**31 - 1)),
+        )
+
+    def run(
+        self,
+        microbenchmarks: Optional[Sequence[Microbenchmark]] = None,
+        application_benchmarks: Optional[Sequence[ApplicationBenchmark]] = None,
+        include_burstable: bool = True,
+    ) -> StudyResult:
+        """Execute the study and return all samples plus summaries."""
+        microbenchmarks = list(microbenchmarks or MICROBENCHMARKS)
+        application_benchmarks = list(application_benchmarks or APPLICATION_BENCHMARKS)
+        all_benchmarks = [b.name for b in microbenchmarks] + [
+            b.name for b in application_benchmarks
+        ]
+
+        result = StudyResult(weeks=self.weeks)
+        for name in all_benchmarks:
+            result.short_lived[name] = {r: [] for r in self.region_names}
+            result.long_lived[name] = {r: [] for r in self.region_names}
+            result.burstable[name] = {r: [] for r in self.region_names}
+
+        n_vms = 0
+        n_samples = 0
+        for region_name in self.region_names:
+            region = get_region(region_name)
+            long_vm = self._new_vm(region, self.sku, f"long-{region_name}", "long")
+            n_vms += 1
+            for week in range(self.weeks):
+                # --- long-lived VM: one sample of every benchmark per week.
+                for bench in microbenchmarks:
+                    value = bench.run(long_vm, rng=self._rng)
+                    result.long_lived[bench.name][region_name].append((week, value))
+                    n_samples += 1
+                for bench in application_benchmarks:
+                    value = bench.run(long_vm, rng=self._rng)
+                    result.long_lived[bench.name][region_name].append((week, value))
+                    n_samples += 1
+                # Idle the rest of the week.
+                long_vm.advance(24.0 * 7 - 2.0)
+
+                # --- short-lived VMs: provision, benchmark once, discard.
+                for index in range(self.short_vms_per_week):
+                    vm = self._new_vm(
+                        region, self.sku, f"short-{region_name}-{week}-{index}", "short"
+                    )
+                    n_vms += 1
+                    for bench in microbenchmarks:
+                        result.short_lived[bench.name][region_name].append(
+                            bench.run(vm, rng=self._rng)
+                        )
+                        n_samples += 1
+                    for bench in application_benchmarks:
+                        result.short_lived[bench.name][region_name].append(
+                            bench.run(vm, rng=self._rng)
+                        )
+                        n_samples += 1
+
+                    if include_burstable:
+                        bvm = self._new_vm(
+                            region,
+                            self.burstable_sku,
+                            f"burst-{region_name}-{week}-{index}",
+                            "short",
+                        )
+                        n_vms += 1
+                        # Burstable VMs carry a customer workload before the
+                        # benchmark lands on them; a sustained busy period
+                        # depletes the credit bank on a fraction of them,
+                        # which is what produces Fig. 3's bimodality.
+                        busy_hours = float(self._rng.uniform(0.0, 24.0))
+                        bvm.measure(busy_hours, utilisation=0.9, rng=self._rng)
+                        for bench in application_benchmarks:
+                            result.burstable[bench.name][region_name].append(
+                                bench.run(bvm, rng=self._rng)
+                            )
+                            n_samples += 1
+
+        result.n_vms = n_vms
+        result.n_samples = n_samples
+        return result

@@ -1,0 +1,150 @@
+"""Guest-OS telemetry generation (psutil stand-in).
+
+The paper's noise adjuster (§4.3) feeds *all* available ``psutil`` metrics,
+plus a one-hot worker id, into a random-forest model that predicts how far a
+sample deviates from the configuration's mean performance.  For that to work
+in simulation, the telemetry must (noisily) reflect the node state that
+actually perturbed the measurement: interference levels, credit depletion,
+and the resource demands of the configuration being run.
+
+:class:`TelemetrySample` produces a fixed-order vector of such metrics from a
+:class:`~repro.cloud.vm.MeasurementContext` and the SuT resource-usage
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.vm import MeasurementContext
+
+
+#: Fixed metric order so feature matrices are reproducible across runs.
+TELEMETRY_METRICS: List[str] = [
+    "cpu_percent",
+    "cpu_user",
+    "cpu_system",
+    "cpu_iowait",
+    "cpu_steal",
+    "cpu_ctx_switches_per_s",
+    "cpu_interrupts_per_s",
+    "load_avg_1m",
+    "mem_used_percent",
+    "mem_available_gb",
+    "mem_page_faults_per_s",
+    "mem_swap_used_percent",
+    "mem_bandwidth_util",
+    "cache_miss_ratio",
+    "cache_references_per_s",
+    "disk_read_mb_per_s",
+    "disk_write_mb_per_s",
+    "disk_util_percent",
+    "disk_await_ms",
+    "net_sent_mb_per_s",
+    "net_recv_mb_per_s",
+    "os_syscalls_per_s",
+    "os_threads",
+    "os_open_files",
+    "vmexit_rate",
+]
+
+
+@dataclass
+class TelemetrySample:
+    """A single guest-OS metric snapshot taken during a measurement."""
+
+    metrics: Dict[str, float]
+
+    def as_vector(self) -> np.ndarray:
+        """Return the metrics as a vector in :data:`TELEMETRY_METRICS` order."""
+        return np.array([self.metrics[name] for name in TELEMETRY_METRICS], dtype=float)
+
+    @staticmethod
+    def metric_names() -> List[str]:
+        return list(TELEMETRY_METRICS)
+
+    def __getitem__(self, name: str) -> float:
+        return self.metrics[name]
+
+    @classmethod
+    def collect(
+        cls,
+        context: MeasurementContext,
+        usage: Dict[str, float],
+        rng: Optional[np.random.Generator] = None,
+        jitter: float = 0.03,
+    ) -> "TelemetrySample":
+        """Generate a telemetry snapshot.
+
+        Parameters
+        ----------
+        context:
+            Node state of the measurement (interference, multipliers, credits).
+        usage:
+            SuT resource demand per component in ``[0, 1]`` (keys ``cpu``,
+            ``disk``, ``memory``, ``os``, ``cache``, ``network``); produced by
+            the system simulators.
+        rng:
+            RNG for metric observation noise.
+        jitter:
+            Relative observation noise applied to every metric, modelling the
+            fact that psutil counters are themselves sampled.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+
+        def noisy(value: float) -> float:
+            return float(max(value * (1.0 + rng.normal(0.0, jitter)), 0.0))
+
+        cpu_demand = float(usage.get("cpu", 0.3))
+        disk_demand = float(usage.get("disk", 0.2))
+        mem_demand = float(usage.get("memory", 0.3))
+        os_demand = float(usage.get("os", 0.2))
+        cache_demand = float(usage.get("cache", 0.3))
+        net_demand = float(usage.get("network", 0.1))
+
+        interference = context.interference
+        cpu_inter = interference.get("cpu", 0.0)
+        mem_inter = interference.get("memory", 0.0)
+        os_inter = interference.get("os", 0.0)
+        cache_inter = interference.get("cache", 0.0)
+        disk_inter = interference.get("disk", 0.0)
+        net_inter = interference.get("network", 0.0)
+
+        # When a component is slowed, the guest sees higher utilisation /
+        # queueing for the same demand, plus steal time for CPU interference.
+        cpu_percent = min(100.0, 100.0 * cpu_demand / max(context.multiplier("cpu"), 0.1))
+        disk_util = min(100.0, 100.0 * disk_demand / max(context.multiplier("disk"), 0.1))
+        mem_bw_util = min(1.0, mem_demand / max(context.multiplier("memory"), 0.1))
+        metrics: Dict[str, float] = {
+            "cpu_percent": noisy(cpu_percent),
+            "cpu_user": noisy(cpu_percent * 0.7),
+            "cpu_system": noisy(cpu_percent * 0.2 + 30.0 * os_demand),
+            "cpu_iowait": noisy(25.0 * disk_demand + 40.0 * disk_inter),
+            "cpu_steal": noisy(60.0 * cpu_inter + 5.0 * (1.0 - context.burst_fraction)),
+            "cpu_ctx_switches_per_s": noisy(2e4 * os_demand * (1.0 + 2.0 * os_inter)),
+            "cpu_interrupts_per_s": noisy(8e3 * (disk_demand + net_demand)),
+            "load_avg_1m": noisy(8.0 * cpu_demand + 4.0 * disk_demand),
+            "mem_used_percent": noisy(min(100.0, 95.0 * mem_demand + 5.0)),
+            "mem_available_gb": noisy(max(32.0 * (1.0 - mem_demand), 0.5)),
+            "mem_page_faults_per_s": noisy(1e3 * mem_demand * (1.0 + 3.0 * mem_inter)),
+            "mem_swap_used_percent": noisy(5.0 * max(mem_demand - 0.9, 0.0) * 20.0),
+            "mem_bandwidth_util": noisy(mem_bw_util),
+            "cache_miss_ratio": noisy(
+                min(0.95, 0.15 + 0.5 * cache_demand * (1.0 + 2.0 * cache_inter))
+            ),
+            "cache_references_per_s": noisy(5e6 * cache_demand),
+            "disk_read_mb_per_s": noisy(180.0 * disk_demand * context.multiplier("disk")),
+            "disk_write_mb_per_s": noisy(120.0 * disk_demand * context.multiplier("disk")),
+            "disk_util_percent": noisy(disk_util),
+            "disk_await_ms": noisy(1.5 / max(context.multiplier("disk"), 0.1)),
+            "net_sent_mb_per_s": noisy(50.0 * net_demand * context.multiplier("network")),
+            "net_recv_mb_per_s": noisy(80.0 * net_demand * context.multiplier("network")),
+            "os_syscalls_per_s": noisy(5e4 * os_demand * (1.0 + 1.5 * os_inter)),
+            "os_threads": noisy(80.0 + 300.0 * cpu_demand),
+            "os_open_files": noisy(400.0 + 2000.0 * disk_demand),
+            "vmexit_rate": noisy(1e4 * os_demand * (1.0 + 4.0 * os_inter)),
+        }
+        return cls(metrics=metrics)

@@ -1,0 +1,215 @@
+"""Virtual-machine performance model.
+
+A :class:`VirtualMachine` decides how fast each hardware/software component
+(CPU, disk, memory, OS operations, CPU cache, network) runs for a particular
+measurement.  The multiplier for a component combines four effects, matching
+the structure of variability the paper measures in §3.2:
+
+1. a **persistent node factor** drawn when the VM is provisioned — which
+   physical host you landed on and its steady background load; this is what
+   differs between the 43 k short-lived VMs of the study;
+2. **slow temporal drift** of the host (visible in the long-running VM trace
+   of Fig. 6);
+3. transient **noisy-neighbour interference episodes**;
+4. run-to-run **measurement noise**;
+
+plus, for burstable SKUs, the burst-credit state (Fig. 3's bimodality).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cloud.credits import BurstableCreditAccount
+from repro.cloud.regions import COMPONENTS, RegionProfile, VMSku
+
+
+class Component:
+    """Symbolic names of the simulated hardware/software components."""
+
+    CPU = "cpu"
+    DISK = "disk"
+    MEMORY = "memory"
+    OS = "os"
+    CACHE = "cache"
+    NETWORK = "network"
+
+    ALL = COMPONENTS
+
+
+@dataclass
+class MeasurementContext:
+    """Snapshot of node state for a single measurement.
+
+    The workload/SuT model consumes ``multipliers``; the telemetry generator
+    consumes ``interference`` and ``burst_fraction`` so that the guest metrics
+    carry (noisy) information about the very noise that perturbed the
+    measurement — the signal the TUNA noise adjuster exploits.
+    """
+
+    vm_id: str
+    time_hours: float
+    duration_hours: float
+    multipliers: Dict[str, float] = field(default_factory=dict)
+    interference: Dict[str, float] = field(default_factory=dict)
+    burst_fraction: float = 1.0
+
+    def multiplier(self, component: str) -> float:
+        if component not in self.multipliers:
+            raise KeyError(f"unknown component {component!r}")
+        return self.multipliers[component]
+
+
+class VirtualMachine:
+    """A single worker node (cloud VM or bare-metal machine).
+
+    Parameters
+    ----------
+    vm_id:
+        Stable identifier, e.g. ``"worker-3"``; used for worker one-hot
+        encoding by the noise adjuster.
+    sku, region:
+        Offering and environment profiles.
+    lifespan:
+        ``"long"`` or ``"short"``; only affects bookkeeping in the
+        longitudinal study (short VMs are deprovisioned after one benchmark).
+    seed:
+        Seed of the VM's private RNG (node factors, drift phases, episodes).
+    """
+
+    def __init__(
+        self,
+        vm_id: str,
+        sku: VMSku,
+        region: RegionProfile,
+        lifespan: str = "long",
+        seed: Optional[int] = None,
+    ) -> None:
+        if lifespan not in ("long", "short"):
+            raise ValueError("lifespan must be 'long' or 'short'")
+        self.vm_id = str(vm_id)
+        self.sku = sku
+        self.region = region
+        self.lifespan = lifespan
+        self._rng = np.random.default_rng(seed)
+        self.clock_hours = 0.0
+
+        # Persistent node factors: which physical host did we land on?
+        self._node_factor: Dict[str, float] = {}
+        is_slow_host = self._rng.random() < region.slow_host_fraction
+        # Slow hosts are slow because of contention on the *unreserved*
+        # resources (memory bandwidth, shared cache, hypervisor/OS paths);
+        # CPU cycles and managed disks keep their tight SLA (§3.2).
+        slow_components = {Component.MEMORY, Component.OS, Component.CACHE, Component.NETWORK}
+        for component in COMPONENTS:
+            noise = region.component(component)
+            factor = float(
+                np.clip(self._rng.normal(1.0, noise.node_cov), 0.5, 1.5)
+            )
+            if is_slow_host and component in slow_components:
+                factor *= 1.0 - region.slow_host_penalty
+            self._node_factor[component] = factor
+        self.is_slow_host = bool(is_slow_host)
+
+        # Slow drift: per-component sinusoid with random phase/period.
+        self._drift_phase: Dict[str, float] = {
+            c: float(self._rng.uniform(0.0, 2.0 * math.pi)) for c in COMPONENTS
+        }
+        self._drift_period_hours: Dict[str, float] = {
+            c: float(self._rng.uniform(24.0 * 14, 24.0 * 90)) for c in COMPONENTS
+        }
+
+        self.credits: Optional[BurstableCreditAccount] = None
+        if sku.burstable:
+            self.credits = BurstableCreditAccount(
+                accrual_per_hour=sku.credit_accrual_per_hour,
+                max_credits=sku.max_credits,
+                initial_fraction=float(self._rng.uniform(0.2, 1.0)),
+            )
+
+    # ------------------------------------------------------------------ time
+    def advance(self, hours: float) -> None:
+        """Advance this VM's local clock (idle time accrues burst credits)."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        self.clock_hours += hours
+        if self.credits is not None:
+            self.credits.accrue(hours)
+
+    # ------------------------------------------------------------ measurement
+    def node_factor(self, component: str) -> float:
+        """The persistent performance factor of this node for a component."""
+        if component not in self._node_factor:
+            raise KeyError(f"unknown component {component!r}")
+        return self._node_factor[component]
+
+    def _drift(self, component: str) -> float:
+        noise = self.region.component(component)
+        phase = self._drift_phase[component]
+        period = self._drift_period_hours[component]
+        return 1.0 + noise.temporal_cov * math.sin(
+            phase + 2.0 * math.pi * self.clock_hours / period
+        )
+
+    def measure(
+        self,
+        duration_hours: float,
+        utilisation: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MeasurementContext:
+        """Sample the node state for one measurement and advance the clock."""
+        if duration_hours < 0:
+            raise ValueError("duration_hours must be non-negative")
+        rng = rng if rng is not None else self._rng
+
+        burst_fraction = 1.0
+        if self.credits is not None:
+            burst_fraction = self.credits.consume(duration_hours, utilisation)
+
+        multipliers: Dict[str, float] = {}
+        interference: Dict[str, float] = {}
+        for component in COMPONENTS:
+            noise = self.region.component(component)
+            level = 0.0
+            if noise.interference_rate > 0 and rng.random() < noise.interference_rate:
+                # Exponential episode magnitudes give the long tail the paper
+                # observes for cache/OS benchmarks.
+                level = float(
+                    np.clip(rng.exponential(noise.interference_magnitude), 0.0, 0.6)
+                )
+            interference[component] = level
+            measurement = float(rng.normal(1.0, noise.measurement_cov))
+            value = (
+                self._node_factor[component]
+                * self._drift(component)
+                * (1.0 - level)
+                * measurement
+            )
+            if self.sku.burstable and component in (Component.CPU, Component.DISK):
+                effective = (
+                    burst_fraction * self.sku.burst_performance
+                    + (1.0 - burst_fraction) * self.sku.depleted_performance
+                )
+                value *= effective
+            multipliers[component] = float(max(value, 0.05))
+
+        context = MeasurementContext(
+            vm_id=self.vm_id,
+            time_hours=self.clock_hours,
+            duration_hours=duration_hours,
+            multipliers=multipliers,
+            interference=interference,
+            burst_fraction=burst_fraction,
+        )
+        self.clock_hours += duration_hours
+        return context
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VirtualMachine(id={self.vm_id!r}, sku={self.sku.name!r}, "
+            f"region={self.region.name!r}, lifespan={self.lifespan!r})"
+        )

@@ -1,0 +1,227 @@
+"""Typed tunable parameters (knobs).
+
+Each parameter knows how to sample a random value, encode a value into
+``[0, 1]`` for surrogate models, decode it back, and produce a nearby
+"neighbour" value for local search.  Log-scaled numeric parameters are
+supported because most DBMS memory knobs (``shared_buffers``, ``work_mem``,
+…) span several orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class Parameter:
+    """Base class for a single tunable knob."""
+
+    def __init__(self, name: str, default) -> None:
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        self.name = name
+        self.default = default
+
+    # -- interface -------------------------------------------------------
+    def sample(self, rng: np.random.Generator):
+        """Draw a uniform random legal value."""
+        raise NotImplementedError
+
+    def encode(self, value) -> float:
+        """Map a legal value into [0, 1]."""
+        raise NotImplementedError
+
+    def decode(self, unit: float):
+        """Map a [0, 1] scalar back to a legal value."""
+        raise NotImplementedError
+
+    def neighbour(self, value, rng: np.random.Generator, scale: float = 0.2):
+        """Return a nearby legal value (for local search)."""
+        raise NotImplementedError
+
+    def validate(self, value) -> None:
+        """Raise ``ValueError`` if ``value`` is not legal for this knob."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, default={self.default!r})"
+
+
+class FloatParameter(Parameter):
+    """Continuous knob on ``[lower, upper]``, optionally log-scaled."""
+
+    def __init__(
+        self,
+        name: str,
+        lower: float,
+        upper: float,
+        default: Optional[float] = None,
+        log: bool = False,
+    ) -> None:
+        if not lower < upper:
+            raise ValueError(f"{name}: lower must be < upper")
+        if log and lower <= 0:
+            raise ValueError(f"{name}: log-scaled parameters require lower > 0")
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.log = log
+        if default is None:
+            default = math.sqrt(lower * upper) if log else (lower + upper) / 2.0
+        super().__init__(name, float(default))
+        self.validate(self.default)
+
+    def validate(self, value) -> None:
+        value = float(value)
+        if not (self.lower <= value <= self.upper):
+            raise ValueError(
+                f"{self.name}: value {value} outside [{self.lower}, {self.upper}]"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.decode(float(rng.random()))
+
+    def encode(self, value) -> float:
+        self.validate(value)
+        value = float(value)
+        if self.log:
+            return (math.log(value) - math.log(self.lower)) / (
+                math.log(self.upper) - math.log(self.lower)
+            )
+        return (value - self.lower) / (self.upper - self.lower)
+
+    def decode(self, unit: float) -> float:
+        unit = min(max(float(unit), 0.0), 1.0)
+        if self.log:
+            return float(
+                math.exp(
+                    math.log(self.lower)
+                    + unit * (math.log(self.upper) - math.log(self.lower))
+                )
+            )
+        return float(self.lower + unit * (self.upper - self.lower))
+
+    def neighbour(self, value, rng: np.random.Generator, scale: float = 0.2) -> float:
+        unit = self.encode(value)
+        step = float(rng.normal(0.0, scale))
+        return self.decode(min(max(unit + step, 0.0), 1.0))
+
+
+class IntegerParameter(Parameter):
+    """Integer knob on ``[lower, upper]`` (inclusive), optionally log-scaled."""
+
+    def __init__(
+        self,
+        name: str,
+        lower: int,
+        upper: int,
+        default: Optional[int] = None,
+        log: bool = False,
+    ) -> None:
+        if not lower < upper:
+            raise ValueError(f"{name}: lower must be < upper")
+        if log and lower <= 0:
+            raise ValueError(f"{name}: log-scaled parameters require lower > 0")
+        self.lower = int(lower)
+        self.upper = int(upper)
+        self.log = log
+        if default is None:
+            default = (
+                int(round(math.sqrt(lower * upper))) if log else (lower + upper) // 2
+            )
+        super().__init__(name, int(default))
+        self.validate(self.default)
+
+    def validate(self, value) -> None:
+        if int(value) != value:
+            raise ValueError(f"{self.name}: value {value!r} is not an integer")
+        value = int(value)
+        if not (self.lower <= value <= self.upper):
+            raise ValueError(
+                f"{self.name}: value {value} outside [{self.lower}, {self.upper}]"
+            )
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.decode(float(rng.random()))
+
+    def encode(self, value) -> float:
+        self.validate(value)
+        value = int(value)
+        if self.log:
+            return (math.log(value) - math.log(self.lower)) / (
+                math.log(self.upper) - math.log(self.lower)
+            )
+        if self.upper == self.lower:
+            return 0.0
+        return (value - self.lower) / (self.upper - self.lower)
+
+    def decode(self, unit: float) -> int:
+        unit = min(max(float(unit), 0.0), 1.0)
+        if self.log:
+            raw = math.exp(
+                math.log(self.lower)
+                + unit * (math.log(self.upper) - math.log(self.lower))
+            )
+        else:
+            raw = self.lower + unit * (self.upper - self.lower)
+        return int(min(max(int(round(raw)), self.lower), self.upper))
+
+    def neighbour(self, value, rng: np.random.Generator, scale: float = 0.2) -> int:
+        unit = self.encode(value)
+        step = float(rng.normal(0.0, scale))
+        candidate = self.decode(min(max(unit + step, 0.0), 1.0))
+        if candidate == int(value) and self.upper > self.lower:
+            # Force at least a one-step move so local search cannot stall.
+            direction = 1 if rng.random() < 0.5 else -1
+            candidate = int(min(max(int(value) + direction, self.lower), self.upper))
+        return candidate
+
+
+class CategoricalParameter(Parameter):
+    """Unordered categorical knob."""
+
+    def __init__(self, name: str, choices: Sequence, default=None) -> None:
+        choices_list: List = list(choices)
+        if len(choices_list) < 2:
+            raise ValueError(f"{name}: categorical parameters need >= 2 choices")
+        if len(set(map(repr, choices_list))) != len(choices_list):
+            raise ValueError(f"{name}: duplicate choices")
+        self.choices = choices_list
+        if default is None:
+            default = choices_list[0]
+        super().__init__(name, default)
+        self.validate(self.default)
+
+    def validate(self, value) -> None:
+        if value not in self.choices:
+            raise ValueError(f"{self.name}: {value!r} not in {self.choices!r}")
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def encode(self, value) -> float:
+        self.validate(value)
+        index = self.choices.index(value)
+        # Centre of the bucket assigned to this category.
+        return (index + 0.5) / len(self.choices)
+
+    def decode(self, unit: float):
+        unit = min(max(float(unit), 0.0), 1.0)
+        index = min(int(unit * len(self.choices)), len(self.choices) - 1)
+        return self.choices[index]
+
+    def neighbour(self, value, rng: np.random.Generator, scale: float = 0.2):
+        self.validate(value)
+        others = [c for c in self.choices if c != value]
+        return others[int(rng.integers(0, len(others)))]
+
+
+class BooleanParameter(CategoricalParameter):
+    """Boolean knob, encoded as a two-choice categorical."""
+
+    def __init__(self, name: str, default: bool = False) -> None:
+        super().__init__(name, choices=[False, True], default=bool(default))
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        return bool(rng.integers(0, 2))

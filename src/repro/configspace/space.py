@@ -1,0 +1,139 @@
+"""Configuration spaces: ordered collections of typed parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.configspace.configuration import Configuration
+from repro.configspace.parameters import Parameter
+
+
+class ConfigurationSpace:
+    """An ordered set of knobs with sampling and encoding helpers.
+
+    The order of parameters is the order in which they are added and defines
+    the column order of the unit-cube encoding consumed by surrogate models.
+    """
+
+    def __init__(self, parameters: Optional[Iterable[Parameter]] = None, seed: Optional[int] = None) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._rng = np.random.default_rng(seed)
+        if parameters is not None:
+            for parameter in parameters:
+                self.add(parameter)
+
+    # -- construction ------------------------------------------------------
+    def add(self, parameter: Parameter) -> "ConfigurationSpace":
+        if not isinstance(parameter, Parameter):
+            raise TypeError("can only add Parameter instances")
+        if parameter.name in self._parameters:
+            raise ValueError(f"duplicate parameter name: {parameter.name}")
+        self._parameters[parameter.name] = parameter
+        return self
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return list(self._parameters.keys())
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        return list(self._parameters.values())
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._parameters[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    @property
+    def dimension(self) -> int:
+        """Number of knobs (== dimensionality of the unit-cube encoding)."""
+        return len(self._parameters)
+
+    # -- configurations ------------------------------------------------------
+    def default_configuration(self) -> Configuration:
+        return Configuration(self, {p.name: p.default for p in self.parameters})
+
+    def configuration(self, values: Dict) -> Configuration:
+        """Build a configuration from a complete dict of knob values."""
+        return Configuration(self, values)
+
+    def partial_configuration(self, **overrides) -> Configuration:
+        """Default configuration with some knobs overridden."""
+        values = {p.name: p.default for p in self.parameters}
+        values.update(overrides)
+        return Configuration(self, values)
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> Configuration:
+        rng = rng if rng is not None else self._rng
+        return Configuration(self, {p.name: p.sample(rng) for p in self.parameters})
+
+    def sample_batch(self, n: int, rng: Optional[np.random.Generator] = None) -> List[Configuration]:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return [self.sample(rng) for _ in range(n)]
+
+    # -- encoding ------------------------------------------------------
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Encode a configuration into a vector in the unit hypercube."""
+        if config.space is not self:
+            # Allow structurally identical spaces (e.g. rebuilt knob spaces).
+            if config.space.names != self.names:
+                raise ValueError("configuration does not belong to this space")
+        return np.array(
+            [self[name].encode(config[name]) for name in self.names], dtype=float
+        )
+
+    def encode_batch(self, configs: Sequence[Configuration]) -> np.ndarray:
+        if not configs:
+            return np.zeros((0, self.dimension), dtype=float)
+        return np.stack([self.encode(c) for c in configs], axis=0)
+
+    def decode(self, unit_vector) -> Configuration:
+        """Decode a unit-cube vector back into a configuration."""
+        vector = np.asarray(unit_vector, dtype=float).ravel()
+        if vector.shape[0] != self.dimension:
+            raise ValueError(
+                f"expected a vector of length {self.dimension}, got {vector.shape[0]}"
+            )
+        values = {
+            name: self[name].decode(vector[i]) for i, name in enumerate(self.names)
+        }
+        return Configuration(self, values)
+
+    # -- neighbourhoods ------------------------------------------------------
+    def neighbour(
+        self,
+        config: Configuration,
+        rng: Optional[np.random.Generator] = None,
+        n_changes: int = 1,
+        scale: float = 0.2,
+    ) -> Configuration:
+        """Perturb ``n_changes`` randomly chosen knobs of ``config``."""
+        rng = rng if rng is not None else self._rng
+        if n_changes < 1:
+            raise ValueError("n_changes must be >= 1")
+        n_changes = min(n_changes, self.dimension)
+        chosen = rng.choice(self.dimension, size=n_changes, replace=False)
+        values = config.as_dict()
+        for index in chosen:
+            name = self.names[int(index)]
+            values[name] = self[name].neighbour(values[name], rng, scale=scale)
+        return Configuration(self, values)
+
+    def neighbours(
+        self,
+        config: Configuration,
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+        scale: float = 0.2,
+    ) -> List[Configuration]:
+        """A list of ``n`` single-knob perturbations of ``config``."""
+        rng = rng if rng is not None else self._rng
+        return [self.neighbour(config, rng=rng, scale=scale) for _ in range(n)]

@@ -1,0 +1,60 @@
+"""TUNA core: the paper's primary contribution.
+
+TUNA changes *how configurations are sampled*, not the optimizer or the
+system under test (Fig. 7).  The pieces map one-to-one onto the paper's
+design section:
+
+* :mod:`repro.core.multi_fidelity` — Successive-Halving budget schedule where
+  budget = number of distinct worker nodes (§4.1).
+* :mod:`repro.core.outlier` — relative-range unstable-configuration detector
+  with the 30 % threshold and performance-halving penalty (§4.2).
+* :mod:`repro.core.noise_adjuster` — random-forest noise model over guest
+  telemetry + one-hot worker id (§4.3, Algorithms 1-2).
+* :mod:`repro.core.aggregation` — ``min`` aggregation policy (§4.4).
+* :mod:`repro.core.scheduler` — node placement that never re-runs a config on
+  a node it already used (§5.1).
+* :mod:`repro.core.samplers` — the full TUNA pipeline plus the baselines it
+  is compared against (traditional single-node sampling and naive
+  distributed sampling, §6).
+* :mod:`repro.core.tuner` — the offline tuning loop and deployment
+  evaluation harness.
+"""
+
+from repro.core.aggregation import AggregationPolicy, aggregate
+from repro.core.datastore import Datastore, Sample
+from repro.core.execution import ExecutionEngine
+from repro.core.multi_fidelity import SuccessiveHalvingSchedule
+from repro.core.noise_adjuster import NoiseAdjuster
+from repro.core.outlier import OutlierDetector
+from repro.core.samplers import (
+    IterationReport,
+    NaiveDistributedSampler,
+    Sampler,
+    TraditionalSampler,
+    TunaSampler,
+    build_sampler,
+)
+from repro.core.scheduler import MultiFidelityTaskScheduler
+from repro.core.tuner import DeploymentResult, TuningLoop, TuningResult, deploy_configuration
+
+__all__ = [
+    "AggregationPolicy",
+    "Datastore",
+    "IterationReport",
+    "build_sampler",
+    "DeploymentResult",
+    "ExecutionEngine",
+    "MultiFidelityTaskScheduler",
+    "NaiveDistributedSampler",
+    "NoiseAdjuster",
+    "OutlierDetector",
+    "Sample",
+    "Sampler",
+    "SuccessiveHalvingSchedule",
+    "TraditionalSampler",
+    "TunaSampler",
+    "TuningLoop",
+    "TuningResult",
+    "aggregate",
+    "deploy_configuration",
+]

@@ -1,0 +1,64 @@
+"""Sample aggregation policies (§4.4).
+
+TUNA reports the *minimum* performance across a configuration's samples to
+the optimizer: it penalises unstable configurations and optimises for the
+worst case a deployment could see.  Mean and median are provided for the
+ablations discussed in the paper (§4.4 argues they hide outliers).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.base import Objective
+
+
+class AggregationPolicy(str, enum.Enum):
+    """Supported policies for collapsing samples into one optimizer value."""
+
+    MIN = "min"
+    MEAN = "mean"
+    MEDIAN = "median"
+    MAX = "max"
+
+
+def aggregate(
+    values: Sequence[float],
+    objective: Objective,
+    policy: AggregationPolicy = AggregationPolicy.MIN,
+) -> float:
+    """Aggregate objective values into a single number.
+
+    ``MIN`` always means "worst case in the objective's own sense": the lowest
+    throughput, or the highest latency / runtime.  ``MAX`` is the symmetric
+    best case.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot aggregate zero samples")
+    arr = np.asarray(list(values), dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("values must be finite (apply crash penalties first)")
+
+    if policy is AggregationPolicy.MEAN:
+        return float(arr.mean())
+    if policy is AggregationPolicy.MEDIAN:
+        return float(np.median(arr))
+    if policy is AggregationPolicy.MIN:
+        return float(arr.min()) if objective.higher_is_better else float(arr.max())
+    if policy is AggregationPolicy.MAX:
+        return float(arr.max()) if objective.higher_is_better else float(arr.min())
+    raise ValueError(f"unknown aggregation policy {policy!r}")
+
+
+def apply_instability_penalty(value: float, objective: Objective) -> float:
+    """Penalise an unstable configuration's reported value (§4.2).
+
+    The paper halves the reported performance; for minimisation objectives the
+    equivalent is doubling the reported runtime/latency.
+    """
+    if objective.higher_is_better:
+        return float(value) / 2.0
+    return float(value) * 2.0

@@ -1,0 +1,91 @@
+"""Sample datastore: the catalog of all evaluations in a tuning run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.configspace import Configuration
+
+
+@dataclass
+class Sample:
+    """One evaluation of one configuration on one worker node.
+
+    ``value`` is the raw measured objective value (crash penalty already
+    applied for crashed runs); ``adjusted_value`` is the value after the noise
+    adjuster, filled in by the TUNA pipeline (equal to ``value`` when the
+    model is bypassed).
+    """
+
+    config: Configuration
+    worker_id: str
+    value: float
+    objective_unit: str
+    iteration: int
+    budget: int
+    crashed: bool = False
+    adjusted_value: Optional[float] = None
+    telemetry: Optional[np.ndarray] = None
+    details: Dict = field(default_factory=dict)
+
+    @property
+    def effective_value(self) -> float:
+        """The adjusted value when available, otherwise the raw value."""
+        return self.value if self.adjusted_value is None else self.adjusted_value
+
+
+class Datastore:
+    """All samples collected during a tuning run, indexed by configuration."""
+
+    def __init__(self) -> None:
+        self._samples: List[Sample] = []
+        self._by_config: Dict[Configuration, List[Sample]] = {}
+
+    # -- writes -------------------------------------------------------
+    def add(self, sample: Sample) -> None:
+        self._samples.append(sample)
+        self._by_config.setdefault(sample.config, []).append(sample)
+
+    def extend(self, samples: List[Sample]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    # -- reads -------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self._by_config)
+
+    def all_samples(self) -> List[Sample]:
+        return list(self._samples)
+
+    def samples_for(self, config: Configuration) -> List[Sample]:
+        return list(self._by_config.get(config, []))
+
+    def values_for(self, config: Configuration) -> List[float]:
+        return [s.value for s in self._by_config.get(config, [])]
+
+    def workers_used(self, config: Configuration) -> List[str]:
+        return [s.worker_id for s in self._by_config.get(config, [])]
+
+    def configs(self) -> List[Configuration]:
+        return list(self._by_config.keys())
+
+    def configs_with_at_least(self, n_samples: int) -> List[Configuration]:
+        """Configurations with at least ``n_samples`` non-crashed samples."""
+        return [
+            config
+            for config, samples in self._by_config.items()
+            if sum(not s.crashed for s in samples) >= n_samples
+        ]
+
+    def max_samples_per_config(self) -> int:
+        if not self._by_config:
+            return 0
+        return max(len(samples) for samples in self._by_config.values())

@@ -1,0 +1,108 @@
+"""Execution engine: runs configurations on worker VMs.
+
+This is the stand-in for the Nautilus benchmarking platform the paper uses to
+instantiate, benchmark and clean up the SuT on each worker.  It turns an
+:class:`~repro.systems.base.EvaluationResult` into a
+:class:`~repro.core.datastore.Sample`, applying the crash-penalty policy
+(crashed runs are replaced with a conservative bad value rather than ±∞,
+following §6.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.vm import VirtualMachine
+from repro.configspace import Configuration
+from repro.core.datastore import Sample
+from repro.systems.base import SystemUnderTest
+from repro.workloads.base import Workload
+
+
+class ExecutionEngine:
+    """Evaluates configurations of one system/workload pair on VMs."""
+
+    #: Crash penalty factors relative to the default configuration's baseline:
+    #: a crashed throughput run reports 5 % of the baseline; a crashed
+    #: latency/runtime run reports 3x the baseline.
+    CRASH_THROUGHPUT_FACTOR = 0.05
+    CRASH_LATENCY_FACTOR = 3.0
+
+    def __init__(
+        self,
+        system: SystemUnderTest,
+        workload: Workload,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not system.supports(workload):
+            raise ValueError(
+                f"system {system.name!r} does not support workload {workload.name!r}"
+            )
+        self.system = system
+        self.workload = workload
+        self._rng = np.random.default_rng(seed)
+        self.n_evaluations = 0
+        self.n_crashes = 0
+
+    # ------------------------------------------------------------------ api
+    def crash_penalty(self) -> float:
+        """Objective value substituted for a crashed run."""
+        if self.workload.higher_is_better:
+            return self.workload.baseline_performance * self.CRASH_THROUGHPUT_FACTOR
+        return self.workload.baseline_performance * self.CRASH_LATENCY_FACTOR
+
+    def evaluate_on(
+        self,
+        config: Configuration,
+        vm: VirtualMachine,
+        iteration: int = 0,
+        budget: int = 1,
+    ) -> Sample:
+        """Run one configuration once on one VM and return a sample."""
+        result = self.system.run(config, self.workload, vm, rng=self._rng)
+        self.n_evaluations += 1
+        if result.crashed:
+            self.n_crashes += 1
+            value = self.crash_penalty()
+            telemetry = None
+        else:
+            value = result.objective_value
+            telemetry = (
+                result.telemetry.as_vector() if result.telemetry is not None else None
+            )
+        return Sample(
+            config=config,
+            worker_id=vm.vm_id,
+            value=float(value),
+            objective_unit=self.workload.objective.unit,
+            iteration=iteration,
+            budget=budget,
+            crashed=result.crashed,
+            telemetry=telemetry,
+            details=dict(result.details),
+        )
+
+    def evaluate_on_many(
+        self,
+        config: Configuration,
+        vms: Sequence[VirtualMachine],
+        iteration: int = 0,
+        budget: int = 1,
+    ) -> List[Sample]:
+        """Run one configuration on several VMs (conceptually in parallel)."""
+        return [self.evaluate_on(config, vm, iteration, budget) for vm in vms]
+
+    @property
+    def wall_clock_hours_per_evaluation(self) -> float:
+        """Wall-clock cost of one evaluation (workload duration + overhead).
+
+        Samples taken on different nodes run in parallel, so a configuration's
+        wall-clock cost is independent of its budget; what the budget consumes
+        is node-hours (cost), which is what §6.5's equal-cost comparison uses.
+        """
+        duration = self.workload.duration_hours
+        if duration <= 0:
+            duration = self.workload.baseline_performance / 3_600.0  # OLAP batch
+        return duration + 1.0 / 60.0  # one minute of setup/teardown overhead

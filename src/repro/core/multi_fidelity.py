@@ -1,0 +1,134 @@
+"""Successive-Halving budget schedule (§4.1, §5.1).
+
+TUNA associates a configuration's multi-fidelity *budget* with the number of
+distinct worker nodes it has been evaluated on.  New configurations start at
+the lowest budget; the best fraction of each rung is promoted to the next,
+until the most promising configurations have been evaluated on the whole
+cluster (budget 10 in the paper's setup, chosen in Fig. 9 to give 95 %
+confidence of catching unstable configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.configspace import Configuration
+from repro.workloads.base import Objective
+
+
+@dataclass
+class _RungEntry:
+    config: Configuration
+    value: float  # aggregated objective value at this rung
+    promoted: bool = False
+
+
+@dataclass
+class SuccessiveHalvingSchedule:
+    """Decides whether to promote an existing configuration or try a new one.
+
+    Parameters
+    ----------
+    objective:
+        The workload objective (defines which direction is "better").
+    budgets:
+        Increasing node budgets; the paper's implementation uses a minimum of
+        1, an intermediate rung of ~3, and the full 10-node cluster.
+    eta:
+        Promotion ratio: roughly the top ``1/eta`` of a rung moves up.
+    """
+
+    objective: Objective
+    budgets: Tuple[int, ...] = (1, 3, 10)
+    eta: float = 3.0
+    _rungs: Dict[int, List[_RungEntry]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.budgets) < 2:
+            raise ValueError("need at least two budget levels")
+        if list(self.budgets) != sorted(set(self.budgets)):
+            raise ValueError("budgets must be strictly increasing")
+        if self.eta <= 1.0:
+            raise ValueError("eta must be > 1")
+        self._rungs = {budget: [] for budget in self.budgets}
+
+    # ------------------------------------------------------------------ info
+    @property
+    def min_budget(self) -> int:
+        return self.budgets[0]
+
+    @property
+    def max_budget(self) -> int:
+        return self.budgets[-1]
+
+    def next_budget(self, budget: int) -> Optional[int]:
+        """The rung above ``budget`` (``None`` if already at the top)."""
+        if budget not in self.budgets:
+            raise ValueError(f"unknown budget {budget}")
+        index = self.budgets.index(budget)
+        if index + 1 >= len(self.budgets):
+            return None
+        return self.budgets[index + 1]
+
+    def rung_configs(self, budget: int) -> List[Configuration]:
+        return [entry.config for entry in self._rungs[budget]]
+
+    def configs_at_max_budget(self) -> List[Configuration]:
+        return self.rung_configs(self.max_budget)
+
+    # ------------------------------------------------------------------ record
+    def record(self, config: Configuration, budget: int, value: float) -> None:
+        """Record the aggregated value a configuration achieved at a rung."""
+        if budget not in self._rungs:
+            raise ValueError(f"unknown budget {budget}")
+        for entry in self._rungs[budget]:
+            if entry.config == config:
+                entry.value = value
+                return
+        self._rungs[budget].append(_RungEntry(config, value))
+
+    # ------------------------------------------------------------------ decide
+    def _better(self, a: float, b: float) -> bool:
+        if self.objective.higher_is_better:
+            return a > b
+        return a < b
+
+    def _sorted_entries(self, budget: int) -> List[_RungEntry]:
+        return sorted(
+            self._rungs[budget],
+            key=lambda entry: entry.value,
+            reverse=self.objective.higher_is_better,
+        )
+
+    def propose_promotion(self) -> Optional[Tuple[Configuration, int]]:
+        """Return ``(config, next_budget)`` if some rung is ready to promote.
+
+        Higher rungs are inspected first so promising configurations reach the
+        full cluster quickly.  A rung is ready when it holds at least ``eta``
+        finished configurations and its best not-yet-promoted configuration
+        ranks within the top ``1/eta`` of the rung.
+        """
+        for budget in reversed(self.budgets[:-1]):
+            entries = self._rungs[budget]
+            if len(entries) < self.eta:
+                continue
+            ranked = self._sorted_entries(budget)
+            n_promotable = max(1, int(len(ranked) / self.eta))
+            top = ranked[:n_promotable]
+            for entry in top:
+                if not entry.promoted:
+                    entry.promoted = True
+                    return entry.config, self.next_budget(budget)
+        return None
+
+    def n_pending_promotions(self) -> int:
+        """How many configurations are currently eligible for promotion."""
+        count = 0
+        for budget in self.budgets[:-1]:
+            ranked = self._sorted_entries(budget)
+            if len(ranked) < self.eta:
+                continue
+            n_promotable = max(1, int(len(ranked) / self.eta))
+            count += sum(1 for entry in ranked[:n_promotable] if not entry.promoted)
+        return count

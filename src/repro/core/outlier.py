@@ -1,0 +1,50 @@
+"""Unstable-configuration detection (§4.2).
+
+A configuration is classified *unstable* when the relative range of its
+samples — ``(max - min) / mean`` — exceeds a fixed threshold (30 % in the
+paper, anywhere in 15-30 % argued to be reasonable).  The heuristic is
+deliberately insensitive to how many outliers there are: one catastrophic
+node is enough, because a single such node in production would violate the
+SLA the configuration is being tuned for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.datastore import Sample
+from repro.ml.metrics import relative_range
+
+
+class OutlierDetector:
+    """Relative-range stability classifier."""
+
+    def __init__(self, threshold: float = 0.30) -> None:
+        if not 0.0 < threshold:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def relative_range(self, values: Sequence[float]) -> float:
+        """Relative range of a set of measured values."""
+        return relative_range(list(values))
+
+    def is_unstable_values(self, values: Sequence[float]) -> bool:
+        """Classify a set of raw objective values."""
+        if len(values) < 2:
+            # A single sample carries no spread information; never flag it.
+            return False
+        return self.relative_range(values) > self.threshold
+
+    def is_unstable(self, samples: Sequence[Sample]) -> bool:
+        """Classify a configuration from its samples.
+
+        A crashed sample is an immediate instability verdict — a config that
+        kills the SuT on some nodes is the extreme case of what the detector
+        exists to catch.
+        """
+        samples = list(samples)
+        if not samples:
+            return False
+        if any(sample.crashed for sample in samples):
+            return True
+        return self.is_unstable_values([sample.value for sample in samples])

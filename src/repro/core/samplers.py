@@ -1,0 +1,346 @@
+"""Sampling methodologies: TUNA and the baselines it is compared against.
+
+* :class:`TunaSampler` — the full pipeline of Fig. 7: multi-fidelity budgets,
+  outlier detection, noise adjustment, ``min`` aggregation.
+* :class:`TraditionalSampler` — the state-of-the-art baseline (§6): a single
+  node sequentially evaluating each suggested configuration exactly once.
+* :class:`NaiveDistributedSampler` — the §6.5.2 equal-cost baseline: every
+  configuration evaluated on every node of the cluster.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.configspace import Configuration
+from repro.core.aggregation import (
+    AggregationPolicy,
+    aggregate,
+    apply_instability_penalty,
+)
+from repro.core.datastore import Datastore, Sample
+from repro.core.execution import ExecutionEngine
+from repro.core.multi_fidelity import SuccessiveHalvingSchedule
+from repro.core.noise_adjuster import NoiseAdjuster
+from repro.core.outlier import OutlierDetector
+from repro.core.scheduler import MultiFidelityTaskScheduler
+from repro.optimizers.base import Optimizer, objective_to_cost
+
+
+@dataclass
+class IterationReport:
+    """What one tuning iteration did and reported to the optimizer."""
+
+    iteration: int
+    config: Configuration
+    budget: int
+    reported_value: float  # objective units, after adjustment/penalty
+    raw_values: List[float]
+    unstable: bool
+    n_new_samples: int
+    wall_clock_hours: float
+    details: Dict = field(default_factory=dict)
+
+
+class Sampler(abc.ABC):
+    """A sampling methodology driving one tuning run."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        execution: ExecutionEngine,
+        cluster: Cluster,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.optimizer = optimizer
+        self.execution = execution
+        self.cluster = cluster
+        self.datastore = Datastore()
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def objective(self):
+        return self.execution.workload.objective
+
+    @abc.abstractmethod
+    def run_iteration(self, iteration: int) -> IterationReport:
+        """Evaluate one optimizer suggestion and report back to it."""
+
+    @abc.abstractmethod
+    def best_configuration(self) -> Tuple[Configuration, float]:
+        """The configuration this methodology would deploy, plus its catalog value."""
+
+    # -- helpers -------------------------------------------------------
+    def _better(self, a: float, b: float) -> bool:
+        return a > b if self.objective.higher_is_better else a < b
+
+
+class TraditionalSampler(Sampler):
+    """Single-machine, single-sample-per-configuration tuning (§6 baseline)."""
+
+    name = "traditional"
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        execution: ExecutionEngine,
+        cluster: Cluster,
+        seed: Optional[int] = None,
+        worker_index: int = 0,
+    ) -> None:
+        super().__init__(optimizer, execution, cluster, seed=seed)
+        if not 0 <= worker_index < cluster.n_workers:
+            raise ValueError("worker_index out of range")
+        self.worker = cluster.workers[worker_index]
+
+    def run_iteration(self, iteration: int) -> IterationReport:
+        config = self.optimizer.ask()
+        sample = self.execution.evaluate_on(config, self.worker, iteration, budget=1)
+        self.datastore.add(sample)
+        cost = objective_to_cost(sample.value, self.objective)
+        self.optimizer.tell(config, cost, budget=1)
+        return IterationReport(
+            iteration=iteration,
+            config=config,
+            budget=1,
+            reported_value=sample.value,
+            raw_values=[sample.value],
+            unstable=False,
+            n_new_samples=1,
+            wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
+            details={"crashed": sample.crashed},
+        )
+
+    def best_configuration(self) -> Tuple[Configuration, float]:
+        samples = self.datastore.all_samples()
+        if not samples:
+            raise RuntimeError("no samples collected yet")
+        best = samples[0]
+        for sample in samples[1:]:
+            if self._better(sample.value, best.value):
+                best = sample
+        return best.config, best.value
+
+
+class NaiveDistributedSampler(Sampler):
+    """Every configuration on every node, aggregated with ``min`` (§6.5.2)."""
+
+    name = "naive-distributed"
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        execution: ExecutionEngine,
+        cluster: Cluster,
+        seed: Optional[int] = None,
+        aggregation: AggregationPolicy = AggregationPolicy.MIN,
+    ) -> None:
+        super().__init__(optimizer, execution, cluster, seed=seed)
+        self.aggregation = aggregation
+        self._catalog: Dict[Configuration, float] = {}
+
+    def run_iteration(self, iteration: int) -> IterationReport:
+        config = self.optimizer.ask()
+        budget = self.cluster.n_workers
+        samples = self.execution.evaluate_on_many(
+            config, self.cluster.workers, iteration, budget=budget
+        )
+        self.datastore.extend(samples)
+        values = [s.value for s in samples]
+        agg = aggregate(values, self.objective, self.aggregation)
+        self._catalog[config] = agg
+        self.optimizer.tell(config, objective_to_cost(agg, self.objective), budget=budget)
+        return IterationReport(
+            iteration=iteration,
+            config=config,
+            budget=budget,
+            reported_value=agg,
+            raw_values=values,
+            unstable=False,
+            n_new_samples=len(samples),
+            wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
+            details={},
+        )
+
+    def best_configuration(self) -> Tuple[Configuration, float]:
+        if not self._catalog:
+            raise RuntimeError("no configurations evaluated yet")
+        best_config = None
+        best_value = None
+        for config, value in self._catalog.items():
+            if best_value is None or self._better(value, best_value):
+                best_config, best_value = config, value
+        return best_config, best_value
+
+
+class TunaSampler(Sampler):
+    """The TUNA sampling pipeline (Fig. 7).
+
+    Parameters
+    ----------
+    use_noise_adjuster, use_outlier_detector:
+        Ablation switches used by §6.6 (Figs. 19 and 20).
+    budgets:
+        Successive-halving node budgets; the top budget must not exceed the
+        cluster size.
+    """
+
+    name = "tuna"
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        execution: ExecutionEngine,
+        cluster: Cluster,
+        seed: Optional[int] = None,
+        budgets: Tuple[int, ...] = (1, 3, 10),
+        aggregation: AggregationPolicy = AggregationPolicy.MIN,
+        outlier_threshold: float = 0.30,
+        use_noise_adjuster: bool = True,
+        use_outlier_detector: bool = True,
+    ) -> None:
+        super().__init__(optimizer, execution, cluster, seed=seed)
+        if budgets[-1] > cluster.n_workers:
+            raise ValueError("maximum budget cannot exceed the cluster size")
+        self.schedule = SuccessiveHalvingSchedule(
+            objective=self.objective, budgets=budgets
+        )
+        self.scheduler = MultiFidelityTaskScheduler(
+            cluster, seed=int(self._rng.integers(0, 2**31 - 1))
+        )
+        self.outlier_detector = OutlierDetector(threshold=outlier_threshold)
+        self.aggregation = aggregation
+        self.use_noise_adjuster = use_noise_adjuster
+        self.use_outlier_detector = use_outlier_detector
+        self.noise_adjuster = NoiseAdjuster(
+            worker_ids=cluster.worker_ids,
+            seed=int(self._rng.integers(0, 2**31 - 1)),
+        )
+        self._catalog: Dict[Configuration, Tuple[int, float]] = {}  # budget, value
+        self._unstable_configs: set = set()
+
+    # ------------------------------------------------------------------ steps
+    def _propose(self) -> Tuple[Configuration, int]:
+        promotion = self.schedule.propose_promotion()
+        if promotion is not None:
+            return promotion
+        return self.optimizer.ask(), self.schedule.min_budget
+
+    def _adjust_samples(self, samples: List[Sample], unstable: bool) -> List[float]:
+        adjusted = []
+        for sample in samples:
+            if self.use_noise_adjuster:
+                value = self.noise_adjuster.adjust(sample, is_outlier=unstable)
+            else:
+                value = sample.value
+            sample.adjusted_value = value
+            adjusted.append(value)
+        return adjusted
+
+    def _retrain_noise_adjuster(self) -> None:
+        if not self.use_noise_adjuster:
+            return
+        groups = []
+        for config in self.schedule.configs_at_max_budget():
+            if config in self._unstable_configs:
+                continue
+            groups.append(self.datastore.samples_for(config))
+        if groups:
+            self.noise_adjuster.train(groups)
+
+    def run_iteration(self, iteration: int) -> IterationReport:
+        config, budget = self._propose()
+
+        used_workers = self.datastore.workers_used(config)
+        vms = self.scheduler.assign(config, budget, used_workers)
+        new_samples = self.execution.evaluate_on_many(config, vms, iteration, budget)
+        self.datastore.extend(new_samples)
+        all_samples = self.datastore.samples_for(config)
+
+        unstable = False
+        if self.use_outlier_detector:
+            unstable = self.outlier_detector.is_unstable(all_samples)
+            if unstable:
+                self._unstable_configs.add(config)
+
+        adjusted_values = self._adjust_samples(all_samples, unstable)
+        agg = aggregate(adjusted_values, self.objective, self.aggregation)
+        if unstable:
+            agg = apply_instability_penalty(agg, self.objective)
+
+        self.schedule.record(config, budget, agg)
+        self._catalog[config] = (budget, agg)
+        self.optimizer.tell(config, objective_to_cost(agg, self.objective), budget=budget)
+
+        # Training happens after inference so no information leaks into the
+        # values reported this iteration (§6.6).
+        if budget == self.schedule.max_budget and not unstable:
+            self._retrain_noise_adjuster()
+
+        return IterationReport(
+            iteration=iteration,
+            config=config,
+            budget=budget,
+            reported_value=agg,
+            raw_values=[s.value for s in all_samples],
+            unstable=unstable,
+            n_new_samples=len(new_samples),
+            wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
+            details={
+                "adjusted_values": adjusted_values,
+                "model_generation": self.noise_adjuster.generation,
+            },
+        )
+
+    # ------------------------------------------------------------------ output
+    def best_configuration(self) -> Tuple[Configuration, float]:
+        """Best stable configuration, preferring the highest budget reached."""
+        if not self._catalog:
+            raise RuntimeError("no configurations evaluated yet")
+        candidates = []
+        for config, (budget, value) in self._catalog.items():
+            if config in self._unstable_configs:
+                continue
+            candidates.append((budget, value, config))
+        if not candidates:  # everything unstable: fall back to the full catalog
+            candidates = [
+                (budget, value, config)
+                for config, (budget, value) in self._catalog.items()
+            ]
+        max_budget_reached = max(budget for budget, _, _ in candidates)
+        finalists = [c for c in candidates if c[0] == max_budget_reached]
+        best = finalists[0]
+        for entry in finalists[1:]:
+            if self._better(entry[1], best[1]):
+                best = entry
+        return best[2], best[1]
+
+    @property
+    def n_unstable_configs(self) -> int:
+        return len(self._unstable_configs)
+
+
+def build_sampler(
+    name: str,
+    optimizer: Optimizer,
+    execution: ExecutionEngine,
+    cluster: Cluster,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> Sampler:
+    """Instantiate a sampler by name (``tuna``, ``traditional``, ``naive``)."""
+    name = name.lower()
+    if name == "tuna":
+        return TunaSampler(optimizer, execution, cluster, seed=seed, **kwargs)
+    if name == "traditional":
+        return TraditionalSampler(optimizer, execution, cluster, seed=seed, **kwargs)
+    if name in ("naive", "naive-distributed"):
+        return NaiveDistributedSampler(optimizer, execution, cluster, seed=seed, **kwargs)
+    raise KeyError(f"unknown sampler {name!r}; known: tuna, traditional, naive")

@@ -1,0 +1,85 @@
+"""Multi-fidelity task scheduler: node placement for samples (§5.1).
+
+Samples taken at a lower budget are *reused* when a configuration is promoted
+to a higher budget, so only the missing samples are scheduled — and they must
+land on worker nodes the configuration has not used before, otherwise the
+detection guarantees of Fig. 9 (which assume samples from distinct nodes)
+would not hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vm import VirtualMachine
+from repro.configspace import Configuration
+
+
+class MultiFidelityTaskScheduler:
+    """Chooses which worker nodes run the next samples of a configuration."""
+
+    def __init__(self, cluster: Cluster, seed: Optional[int] = None) -> None:
+        self.cluster = cluster
+        self._rng = np.random.default_rng(seed)
+        # Load balancing: how many samples each worker has executed so far.
+        self._load: Dict[str, int] = {vm.vm_id: 0 for vm in cluster.workers}
+
+    @property
+    def n_workers(self) -> int:
+        return self.cluster.n_workers
+
+    def eligible_workers(
+        self, config: Configuration, already_used: Sequence[str]
+    ) -> List[VirtualMachine]:
+        """Workers that have never run this configuration."""
+        used = set(already_used)
+        return [vm for vm in self.cluster.workers if vm.vm_id not in used]
+
+    def assign(
+        self,
+        config: Configuration,
+        target_budget: int,
+        already_used: Sequence[str],
+    ) -> List[VirtualMachine]:
+        """Pick the nodes for the samples still needed to reach a budget.
+
+        Returns an empty list when the configuration already has samples from
+        ``target_budget`` distinct nodes.  Raises if the budget exceeds the
+        cluster size.
+        """
+        if target_budget < 1:
+            raise ValueError("target_budget must be >= 1")
+        if target_budget > self.n_workers:
+            raise ValueError(
+                f"budget {target_budget} exceeds cluster size {self.n_workers}"
+            )
+        used = list(dict.fromkeys(already_used))  # preserve order, dedupe
+        needed = target_budget - len(used)
+        if needed <= 0:
+            return []
+        eligible = self.eligible_workers(config, used)
+        if len(eligible) < needed:
+            raise RuntimeError(
+                "not enough unused workers to honour the budget: "
+                f"need {needed}, have {len(eligible)}"
+            )
+        # Least-loaded first; ties broken randomly for even spread.
+        order = sorted(
+            eligible, key=lambda vm: (self._load[vm.vm_id], self._rng.random())
+        )
+        chosen = order[:needed]
+        for vm in chosen:
+            self._load[vm.vm_id] += 1
+        return chosen
+
+    def record_external_load(self, worker_id: str, n_samples: int = 1) -> None:
+        """Account for samples scheduled outside :meth:`assign` (baselines)."""
+        if worker_id not in self._load:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        self._load[worker_id] += n_samples
+
+    def load_snapshot(self) -> Dict[str, int]:
+        return dict(self._load)

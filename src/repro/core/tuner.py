@@ -1,0 +1,181 @@
+"""Offline tuning loop and deployment evaluation.
+
+The paper's evaluation protocol (§6) is: run a sampling methodology offline
+for a fixed wall-clock budget, pick the best configuration from its catalog,
+then *deploy* that configuration on a set of brand-new nodes and report the
+mean and standard deviation of its performance there.  :class:`TuningLoop`
+implements the first half and :func:`deploy_configuration` the second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cloud.vm import VirtualMachine
+from repro.configspace import Configuration
+from repro.core.execution import ExecutionEngine
+from repro.core.samplers import IterationReport, Sampler
+from repro.ml.metrics import coefficient_of_variation
+from repro.systems.base import SystemUnderTest
+from repro.workloads.base import Workload
+
+
+@dataclass
+class TuningResult:
+    """Everything a tuning run produced."""
+
+    sampler_name: str
+    workload_name: str
+    best_config: Configuration
+    best_catalog_value: float
+    higher_is_better: bool = True
+    history: List[IterationReport] = field(default_factory=list)
+    n_iterations: int = 0
+    n_samples: int = 0
+    wall_clock_hours: float = 0.0
+
+    def best_so_far_trace(self) -> List[float]:
+        """Best *reported* value after each iteration (convergence curve)."""
+        trace: List[float] = []
+        best: Optional[float] = None
+        for report in self.history:
+            value = report.reported_value
+            if best is None:
+                best = value
+            elif self.higher_is_better:
+                best = max(best, value)
+            else:
+                best = min(best, value)
+            trace.append(best)
+        return trace
+
+    def samples_per_iteration(self) -> List[int]:
+        return [report.n_new_samples for report in self.history]
+
+
+@dataclass
+class DeploymentResult:
+    """Performance of one configuration deployed on fresh nodes (§6)."""
+
+    config: Configuration
+    values: List[float]
+    crashes: int
+    objective_unit: str
+    higher_is_better: bool
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def cov(self) -> float:
+        return coefficient_of_variation(self.values)
+
+    @property
+    def worst(self) -> float:
+        return float(np.min(self.values)) if self.higher_is_better else float(np.max(self.values))
+
+    @property
+    def relative_range(self) -> float:
+        values = np.asarray(self.values, dtype=float)
+        return float((values.max() - values.min()) / values.mean())
+
+
+class TuningLoop:
+    """Runs a sampler for a fixed number of iterations or wall-clock budget."""
+
+    def __init__(
+        self,
+        sampler: Sampler,
+        n_iterations: Optional[int] = None,
+        wall_clock_hours: Optional[float] = None,
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if n_iterations is None and wall_clock_hours is None and max_samples is None:
+            raise ValueError(
+                "specify at least one stopping criterion "
+                "(n_iterations, wall_clock_hours or max_samples)"
+            )
+        if n_iterations is not None and n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.sampler = sampler
+        self.n_iterations = n_iterations
+        self.wall_clock_hours = wall_clock_hours
+        self.max_samples = max_samples
+
+    def _should_stop(self, iteration: int, hours: float, samples: int) -> bool:
+        if self.n_iterations is not None and iteration >= self.n_iterations:
+            return True
+        if self.wall_clock_hours is not None and hours >= self.wall_clock_hours:
+            return True
+        if self.max_samples is not None and samples >= self.max_samples:
+            return True
+        return False
+
+    def run(self) -> TuningResult:
+        history: List[IterationReport] = []
+        hours = 0.0
+        samples = 0
+        iteration = 0
+        workload = self.sampler.execution.workload
+        while not self._should_stop(iteration, hours, samples):
+            report = self.sampler.run_iteration(iteration)
+            report.details.setdefault("objective_unit", workload.objective.unit)
+            report.details.setdefault("higher_is_better", workload.higher_is_better)
+            history.append(report)
+            hours += report.wall_clock_hours
+            samples += report.n_new_samples
+            iteration += 1
+            self.sampler.cluster.advance(report.wall_clock_hours)
+
+        best_config, best_value = self.sampler.best_configuration()
+        return TuningResult(
+            sampler_name=self.sampler.name,
+            workload_name=workload.name,
+            best_config=best_config,
+            best_catalog_value=best_value,
+            higher_is_better=workload.higher_is_better,
+            history=history,
+            n_iterations=iteration,
+            n_samples=samples,
+            wall_clock_hours=hours,
+        )
+
+
+def deploy_configuration(
+    system: SystemUnderTest,
+    workload: Workload,
+    config: Configuration,
+    nodes: List[VirtualMachine],
+    seed: Optional[int] = None,
+) -> DeploymentResult:
+    """Evaluate a tuned configuration on freshly provisioned nodes.
+
+    Crashed runs are replaced by the execution engine's crash penalty, exactly
+    as during tuning, so a crashing configuration shows up as both slow and
+    highly variable — which is how Fig. 14 presents it.
+    """
+    if not nodes:
+        raise ValueError("need at least one deployment node")
+    engine = ExecutionEngine(system, workload, seed=seed)
+    values: List[float] = []
+    crashes = 0
+    for vm in nodes:
+        sample = engine.evaluate_on(config, vm)
+        if sample.crashed:
+            crashes += 1
+        values.append(sample.value)
+    return DeploymentResult(
+        config=config,
+        values=values,
+        crashes=crashes,
+        objective_unit=workload.objective.unit,
+        higher_is_better=workload.higher_is_better,
+    )

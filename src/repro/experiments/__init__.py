@@ -1,0 +1,71 @@
+"""Experiment harness: one module per group of paper figures.
+
+Every function here is deterministic given a seed and returns a plain
+dataclass of numbers; the benchmark suite (``benchmarks/``) calls them with
+reduced scale and prints the same rows/series the paper reports, and
+``EXPERIMENTS.md`` records paper-vs-measured values for each figure.
+
+==========================  =====================================
+module                      paper figures
+==========================  =====================================
+``noise_convergence``       Fig. 2
+``cloud_study``             Figs. 3, 4, 6 and Table 1
+``unstable_configs``        Figs. 5, 8, 9
+``generalization``          Figs. 11a-d, 12, 13, 14, 15
+``equal_cost``              Figs. 16, 17
+``component_analysis``      Figs. 18, 19, 20
+==========================  =====================================
+"""
+
+from repro.experiments.cloud_study import CloudStudySummary, run_cloud_study
+from repro.experiments.component_analysis import (
+    AblationResult,
+    run_gp_optimizer_comparison,
+    run_noise_adjuster_ablation,
+    run_outlier_detector_ablation,
+)
+from repro.experiments.equal_cost import (
+    EqualCostResult,
+    run_equal_cost_comparison,
+    run_naive_distributed_comparison,
+)
+from repro.experiments.generalization import (
+    ArmSummary,
+    ComparisonResult,
+    compare_samplers,
+)
+from repro.experiments.noise_convergence import (
+    NoiseConvergenceResult,
+    run_noise_convergence,
+)
+from repro.experiments.unstable_configs import (
+    DetectionCurve,
+    RelativeRangeDistribution,
+    TransferabilityResult,
+    detection_probability_curve,
+    relative_range_distribution,
+    run_transferability_study,
+)
+
+__all__ = [
+    "AblationResult",
+    "ArmSummary",
+    "CloudStudySummary",
+    "ComparisonResult",
+    "DetectionCurve",
+    "EqualCostResult",
+    "NoiseConvergenceResult",
+    "RelativeRangeDistribution",
+    "TransferabilityResult",
+    "compare_samplers",
+    "detection_probability_curve",
+    "relative_range_distribution",
+    "run_cloud_study",
+    "run_equal_cost_comparison",
+    "run_gp_optimizer_comparison",
+    "run_naive_distributed_comparison",
+    "run_noise_adjuster_ablation",
+    "run_noise_convergence",
+    "run_outlier_detector_ablation",
+    "run_transferability_study",
+]

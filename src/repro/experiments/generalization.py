@@ -1,0 +1,218 @@
+"""Figs. 11-15 and 18 — TUNA vs traditional sampling vs the default config.
+
+One generic harness, :func:`compare_samplers`, implements the paper's §6
+protocol: for each tuning run, tune offline with a sampling methodology, take
+the best configuration from its catalog, deploy it on fresh nodes and record
+the mean and standard deviation of its performance there.  The per-figure
+differences are just the system, workload, region, SKU and optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud import Cluster
+from repro.core import (
+    ExecutionEngine,
+    TuningLoop,
+    build_sampler,
+    deploy_configuration,
+)
+from repro.optimizers import build_optimizer
+from repro.systems import get_system
+from repro.workloads import Workload, get_workload
+
+
+@dataclass
+class ArmSummary:
+    """Deployment statistics of one sampling methodology (one figure bar group)."""
+
+    name: str
+    #: per tuning run: mean deployment performance of its best config
+    run_means: List[float] = field(default_factory=list)
+    #: per tuning run: std of deployment performance across fresh nodes
+    run_stds: List[float] = field(default_factory=list)
+    #: per tuning run: number of crashed deployment runs
+    run_crashes: List[int] = field(default_factory=list)
+    #: per tuning run: whether the deployed config is unstable (>30% rel. range)
+    run_unstable: List[bool] = field(default_factory=list)
+
+    @property
+    def mean_performance(self) -> float:
+        return float(np.mean(self.run_means))
+
+    @property
+    def mean_std(self) -> float:
+        return float(np.mean(self.run_stds))
+
+    @property
+    def n_unstable(self) -> int:
+        return int(sum(self.run_unstable))
+
+    @property
+    def total_crashes(self) -> int:
+        return int(sum(self.run_crashes))
+
+
+@dataclass
+class ComparisonResult:
+    """Everything needed to print one of the paper's bar-chart figures."""
+
+    system: str
+    workload: str
+    region: str
+    sku: str
+    optimizer: str
+    higher_is_better: bool
+    arms: Dict[str, ArmSummary] = field(default_factory=dict)
+    default_arm: Optional[ArmSummary] = None
+
+    def improvement_over_default(self, arm: str) -> float:
+        """Mean performance of an arm relative to the default configuration."""
+        if self.default_arm is None:
+            raise RuntimeError("default configuration was not evaluated")
+        tuned = self.arms[arm].mean_performance
+        default = self.default_arm.mean_performance
+        if self.higher_is_better:
+            return tuned / default - 1.0
+        return default / tuned - 1.0
+
+    def std_reduction_vs(self, arm: str, reference: str) -> float:
+        """Fractional reduction in average deployment std of ``arm`` vs ``reference``."""
+        return 1.0 - self.arms[arm].mean_std / self.arms[reference].mean_std
+
+
+def _evaluate_default(
+    system, workload: Workload, cluster: Cluster, n_deploy_nodes: int, seed: int
+) -> ArmSummary:
+    arm = ArmSummary(name="default")
+    fresh = cluster.provision_fresh_nodes(n_deploy_nodes)
+    deployment = deploy_configuration(
+        system, workload, system.default_configuration(), fresh, seed=seed
+    )
+    arm.run_means.append(deployment.mean)
+    arm.run_stds.append(deployment.std)
+    arm.run_crashes.append(deployment.crashes)
+    arm.run_unstable.append(deployment.relative_range > 0.30)
+    return arm
+
+
+def compare_samplers(
+    system_name: str = "postgres",
+    workload_name: str = "tpcc",
+    region: str = "westus2",
+    sku: str = "Standard_D8s_v5",
+    optimizer_name: str = "smac",
+    samplers: Sequence[str] = ("tuna", "traditional"),
+    n_runs: int = 5,
+    n_iterations: int = 40,
+    n_cluster_nodes: int = 10,
+    n_deploy_nodes: int = 10,
+    seed: int = 0,
+    optimizer_kwargs: Optional[dict] = None,
+    sampler_kwargs: Optional[Dict[str, dict]] = None,
+) -> ComparisonResult:
+    """Run the §6 evaluation protocol for one (system, workload, environment).
+
+    Figures map onto calls as follows (all with the defaults above unless noted):
+
+    * Fig. 11a-d — ``workload_name`` in {tpcc, epinions, tpch, mssales}
+    * Fig. 12 — ``region="centralus"``
+    * Fig. 13 — ``region="cloudlab-wisconsin"``, ``sku="c220g5"``
+    * Fig. 14 — ``system_name="redis"``, ``workload_name="ycsb-c"``
+    * Fig. 15 — ``system_name="nginx"``, ``workload_name="wikipedia-top500"``
+    * Fig. 18 — ``optimizer_name="gp"``
+    """
+    workload = get_workload(workload_name)
+    optimizer_kwargs = dict(optimizer_kwargs or {})
+    if optimizer_name == "smac":
+        optimizer_kwargs.setdefault("n_candidates", 150)
+        optimizer_kwargs.setdefault("n_trees", 12)
+        optimizer_kwargs.setdefault("n_initial_design", 10)
+    sampler_kwargs = dict(sampler_kwargs or {})
+
+    result = ComparisonResult(
+        system=system_name,
+        workload=workload_name,
+        region=region,
+        sku=sku,
+        optimizer=optimizer_name,
+        higher_is_better=workload.higher_is_better,
+    )
+    master = np.random.default_rng(seed)
+    run_seeds = [int(master.integers(0, 2**31 - 1)) for _ in range(n_runs)]
+
+    # Default-configuration reference arm (one deployment per run seed).
+    default_arm = ArmSummary(name="default")
+    for run_seed in run_seeds:
+        system = get_system(system_name)
+        cluster = Cluster(n_workers=n_cluster_nodes, region=region, sku=sku, seed=run_seed)
+        single = _evaluate_default(system, workload, cluster, n_deploy_nodes, run_seed + 7)
+        default_arm.run_means.extend(single.run_means)
+        default_arm.run_stds.extend(single.run_stds)
+        default_arm.run_crashes.extend(single.run_crashes)
+        default_arm.run_unstable.extend(single.run_unstable)
+    result.default_arm = default_arm
+
+    for sampler_name in samplers:
+        arm = ArmSummary(name=sampler_name)
+        for run_seed in run_seeds:
+            system = get_system(system_name)
+            cluster = Cluster(
+                n_workers=n_cluster_nodes, region=region, sku=sku, seed=run_seed
+            )
+            execution = ExecutionEngine(system, workload, seed=run_seed)
+            optimizer = build_optimizer(
+                optimizer_name, system.knob_space, seed=run_seed, **optimizer_kwargs
+            )
+            extra = dict(sampler_kwargs.get(sampler_name, {}))
+            if sampler_name == "tuna":
+                max_budget = min(n_cluster_nodes, 10)
+                extra.setdefault("budgets", (1, 3, max_budget))
+            sampler = build_sampler(
+                sampler_name, optimizer, execution, cluster, seed=run_seed, **extra
+            )
+            tuning = TuningLoop(sampler, n_iterations=n_iterations).run()
+            fresh = cluster.provision_fresh_nodes(n_deploy_nodes)
+            deployment = deploy_configuration(
+                system, workload, tuning.best_config, fresh, seed=run_seed + 13
+            )
+            arm.run_means.append(deployment.mean)
+            arm.run_stds.append(deployment.std)
+            arm.run_crashes.append(deployment.crashes)
+            arm.run_unstable.append(deployment.relative_range > 0.30)
+        result.arms[sampler_name] = arm
+    return result
+
+
+def format_report(result: ComparisonResult, figure: str = "") -> str:
+    """Bar-chart figures as a text table (mean and average std per arm)."""
+    workload = get_workload(result.workload)
+    unit = workload.objective.unit
+    direction = "higher is better" if result.higher_is_better else "lower is better"
+    title = figure or f"{result.system}/{result.workload}"
+    lines = [
+        f"{title} — {result.region}, {result.sku}, optimizer={result.optimizer} ({direction})",
+        "",
+        f"{'arm':>14} {'mean ' + unit:>16} {'avg std':>12} {'unstable':>9} {'crashes':>8}",
+    ]
+    rows = list(result.arms.values())
+    if result.default_arm is not None:
+        rows.append(result.default_arm)
+    for arm in rows:
+        lines.append(
+            f"{arm.name:>14} {arm.mean_performance:>16.2f} {arm.mean_std:>12.2f} "
+            f"{arm.n_unstable:>9d} {arm.total_crashes:>8d}"
+        )
+    if "tuna" in result.arms and "traditional" in result.arms:
+        lines += [
+            "",
+            f"  TUNA vs traditional: std reduction = "
+            f"{result.std_reduction_vs('tuna', 'traditional'):.0%}",
+            f"  TUNA vs default    : improvement   = "
+            f"{result.improvement_over_default('tuna'):+.0%}",
+        ]
+    return "\n".join(lines)

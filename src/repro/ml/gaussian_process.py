@@ -1,0 +1,107 @@
+"""Gaussian-process regression with exact inference.
+
+Used by :class:`repro.optimizers.gp.GaussianProcessOptimizer`, the
+OtterTune-style optimizer the paper swaps in for §6.6 to show TUNA is
+optimizer-agnostic.  Inference is the textbook Cholesky formulation
+(Rasmussen & Williams, Algorithm 2.1) with observations standardised
+internally for numerical stability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.kernels import Kernel, Matern52Kernel
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance kernel.  Defaults to Matérn 5/2 with unit length scale,
+        appropriate for inputs encoded in the unit cube.
+    noise:
+        Observation-noise variance added to the diagonal (jitter included).
+    normalize_y:
+        If true (default) targets are standardised before fitting and the
+        posterior is transformed back, which avoids degenerate posteriors for
+        throughput values in the thousands.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise: float = 1e-6,
+        normalize_y: bool = True,
+    ) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.kernel = kernel if kernel is not None else Matern52Kernel(length_scale=0.5)
+        self.noise = float(noise)
+        self.normalize_y = normalize_y
+        self._X: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._L: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def fit(self, X, y) -> "GaussianProcessRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero samples")
+
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y))
+            std = float(np.std(y))
+            self._y_std = std if std > 0 else 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+
+        K = self.kernel(X, X)
+        K[np.diag_indices_from(K)] += self.noise + 1e-10
+        L = np.linalg.cholesky(K)
+        alpha = np.linalg.solve(L.T, np.linalg.solve(L, y_norm))
+
+        self._X = X
+        self._L = L
+        self._alpha = alpha
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._X is None or self._alpha is None or self._L is None:
+            raise RuntimeError("GaussianProcessRegressor must be fit before predict")
+
+    def predict(self, X, return_std: bool = False):
+        """Posterior mean (and optionally standard deviation) at ``X``."""
+        self._check_fitted()
+        assert self._X is not None and self._alpha is not None and self._L is not None
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        K_star = self.kernel(X, self._X)
+        mean_norm = K_star @ self._alpha
+        mean = mean_norm * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = np.linalg.solve(self._L, K_star.T)
+        prior_var = np.diag(self.kernel(X, X))
+        var_norm = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
+        std = np.sqrt(var_norm) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood of the (standardised) training targets."""
+        self._check_fitted()
+        assert self._X is not None and self._alpha is not None and self._L is not None
+        n = self._X.shape[0]
+        y_norm = self._L @ np.linalg.solve(self._L, self._alpha)  # reconstructs y_norm
+        # -0.5 y^T alpha - sum(log diag L) - n/2 log(2 pi)
+        data_fit = -0.5 * float(y_norm @ self._alpha)
+        complexity = -float(np.sum(np.log(np.diag(self._L))))
+        return data_fit + complexity - 0.5 * n * np.log(2.0 * np.pi)

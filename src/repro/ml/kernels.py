@@ -1,0 +1,115 @@
+"""Covariance kernels for Gaussian-process regression.
+
+Only the kernels required by the OtterTune-style Gaussian-process optimizer
+(§6.6 of the paper) are provided: RBF and Matérn 5/2 over the unit-cube
+encoding of configurations, plus constant scaling and white noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``A`` and ``B``."""
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    a2 = np.sum(A**2, axis=1)[:, None]
+    b2 = np.sum(B**2, axis=1)[None, :]
+    sq = a2 + b2 - 2.0 * A @ B.T
+    return np.maximum(sq, 0.0)
+
+
+class Kernel:
+    """Base kernel with sum/product composition operators."""
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.diag(self(A, A))
+
+    def __add__(self, other: "Kernel") -> "Kernel":
+        return _SumKernel(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Kernel":
+        return _ProductKernel(self, other)
+
+
+class _SumKernel(Kernel):
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return self.left(A, B) + self.right(A, B)
+
+
+class _ProductKernel(Kernel):
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return self.left(A, B) * self.right(A, B)
+
+
+class ConstantKernel(Kernel):
+    """Constant (signal-variance) kernel."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value <= 0:
+            raise ValueError("constant kernel value must be positive")
+        self.value = float(value)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = np.atleast_2d(B)
+        return np.full((A.shape[0], B.shape[0]), self.value, dtype=float)
+
+
+class WhiteKernel(Kernel):
+    """White-noise kernel; contributes only on the diagonal of K(X, X)."""
+
+    def __init__(self, noise: float = 1e-6) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.noise = float(noise)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = np.atleast_2d(B)
+        if A.shape[0] == B.shape[0] and A is B:
+            return self.noise * np.eye(A.shape[0])
+        out = np.zeros((A.shape[0], B.shape[0]), dtype=float)
+        if A.shape == B.shape and np.array_equal(A, B):
+            np.fill_diagonal(out, self.noise)
+        return out
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel with a shared length scale."""
+
+    def __init__(self, length_scale: float = 1.0) -> None:
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        self.length_scale = float(length_scale)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(np.atleast_2d(A), np.atleast_2d(B))
+        return np.exp(-0.5 * sq / self.length_scale**2)
+
+
+class Matern52Kernel(Kernel):
+    """Matérn kernel with smoothness nu = 5/2, the standard BO choice."""
+
+    def __init__(self, length_scale: float = 1.0) -> None:
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        self.length_scale = float(length_scale)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(np.atleast_2d(A), np.atleast_2d(B))
+        d = np.sqrt(sq) / self.length_scale
+        sqrt5_d = np.sqrt(5.0) * d
+        return (1.0 + sqrt5_d + 5.0 / 3.0 * d**2) * np.exp(-sqrt5_d)

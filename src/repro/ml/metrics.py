@@ -1,0 +1,89 @@
+"""Regression and variability metrics shared across the reproduction.
+
+The variability metrics (:func:`coefficient_of_variation` and
+:func:`relative_range`) are the statistics the paper uses when reasoning about
+noise: CoV for the longitudinal cloud study (§3.2) and relative range for the
+unstable-configuration detector (§4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("metric requires at least one value")
+    return arr
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error between two equal-length vectors."""
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error between two equal-length vectors."""
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_relative_error(y_true, y_pred) -> float:
+    """Mean of ``|pred - true| / |true|``.
+
+    This is the error metric reported in Fig. 19b of the paper when comparing
+    the optimizer signal with and without the noise-adjuster model.
+    """
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if np.any(y_true == 0):
+        raise ValueError("mean_relative_error is undefined when y_true contains zeros")
+    return float(np.mean(np.abs(y_pred - y_true) / np.abs(y_true)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (R^2)."""
+    y_true = _as_1d(y_true)
+    y_pred = _as_1d(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def coefficient_of_variation(values) -> float:
+    """Standard deviation normalised by the mean (CoV).
+
+    Used throughout §3 of the paper to quantify the noise of cloud components.
+    """
+    arr = _as_1d(values)
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        raise ValueError("coefficient of variation is undefined for zero mean")
+    return float(np.std(arr) / abs(mean))
+
+
+def relative_range(values) -> float:
+    """``(max - min) / mean`` of a sample set.
+
+    The unstable-configuration heuristic of §4.2: it does not depend on how
+    many outliers exist, only whether at least one extreme sample exists.
+    """
+    arr = _as_1d(values)
+    mean = float(np.mean(arr))
+    if mean == 0.0:
+        raise ValueError("relative range is undefined for zero mean")
+    return float((np.max(arr) - np.min(arr)) / abs(mean))

@@ -1,0 +1,224 @@
+"""CART regression tree used as the building block of the random forest.
+
+The implementation is a plain variance-reduction CART over dense ``numpy``
+arrays.  It is intentionally small but supports the features the surrogate and
+noise-adjuster models need: per-split feature subsampling (``max_features``),
+depth and leaf-size limits, and per-leaf variance estimates so the forest can
+expose predictive uncertainty to the Bayesian optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A single tree node; leaves keep the training targets' mean/variance."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+    variance: float = 0.0
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """Regression tree minimising within-node variance (squared error).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or smaller
+        than ``min_samples_split``.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples that must end up in each child.
+    max_features:
+        Number of candidate features examined per split.  ``None`` uses all
+        features, a float in (0, 1] uses that fraction, an int uses that count.
+    seed:
+        Seed for the feature-subsampling RNG.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_Node] = None
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _n_split_features(self) -> int:
+        assert self.n_features_ is not None
+        if self.max_features is None:
+            return self.n_features_
+        if isinstance(self.max_features, float):
+            return max(1, int(round(self.max_features * self.n_features_)))
+        return max(1, min(int(self.max_features), self.n_features_))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(
+            value=float(np.mean(y)),
+            variance=float(np.var(y)),
+            n_samples=int(y.shape[0]),
+        )
+        if (
+            y.shape[0] < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(y == y[0])
+        ):
+            return node
+
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n_samples, n_features = X.shape
+        features = self._rng.choice(
+            n_features, size=self._n_split_features(), replace=False
+        )
+        best_score = np.inf
+        best: Optional[tuple] = None
+        min_leaf = self.min_samples_leaf
+
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="mergesort")
+            xs = X[order, feature]
+            ys = y[order]
+            # Cumulative sums let us evaluate every split point in O(n).
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys**2)
+            total_sum = csum[-1]
+            total_sq = csum_sq[-1]
+
+            # Candidate split after index i (left = [0..i], right = [i+1..]).
+            idx = np.arange(min_leaf - 1, n_samples - min_leaf)
+            if idx.size == 0:
+                continue
+            # Only consider indices where the feature value actually changes.
+            distinct = xs[idx] < xs[idx + 1]
+            idx = idx[distinct]
+            if idx.size == 0:
+                continue
+
+            n_left = idx + 1
+            n_right = n_samples - n_left
+            sum_left = csum[idx]
+            sq_left = csum_sq[idx]
+            sum_right = total_sum - sum_left
+            sq_right = total_sq - sq_left
+            # Within-child sum of squared errors.
+            sse_left = sq_left - sum_left**2 / n_left
+            sse_right = sq_right - sum_right**2 / n_right
+            scores = sse_left + sse_right
+
+            local_best = int(np.argmin(scores))
+            if scores[local_best] < best_score:
+                best_score = float(scores[local_best])
+                i = idx[local_best]
+                threshold = float((xs[i] + xs[i + 1]) / 2.0)
+                best = (int(feature), threshold)
+        return best
+
+    # -------------------------------------------------------------- predict
+    def _locate(self, row: np.ndarray) -> _Node:
+        assert self._root is not None
+        node = self._root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeRegressor must be fit before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("feature dimension mismatch in predict")
+        return np.array([self._locate(row).value for row in X], dtype=float)
+
+    def predict_with_variance(self, X) -> tuple:
+        """Return per-row leaf means and leaf variances."""
+        if self._root is None:
+            raise RuntimeError("DecisionTreeRegressor must be fit before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("feature dimension mismatch in predict")
+        leaves = [self._locate(row) for row in X]
+        means = np.array([leaf.value for leaf in leaves], dtype=float)
+        variances = np.array([leaf.variance for leaf in leaves], dtype=float)
+        return means, variances
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return _depth(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+
+        def _count(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return _count(node.left) + _count(node.right)
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return _count(self._root)

@@ -1,0 +1,40 @@
+"""Black-box configuration optimizers.
+
+TUNA is explicitly optimizer-agnostic (§4: "should not require any changes to
+the underlying optimizer"), and the paper demonstrates it with two optimizers:
+SMAC-style Bayesian optimization with a random-forest surrogate (the default,
+§5) and an OtterTune-style Gaussian-process optimizer (§6.6).  This package
+provides both, plus random search as a sanity baseline, behind a common
+ask/tell interface that minimises *cost* (lower is better).
+"""
+
+from repro.optimizers.acquisition import expected_improvement, upper_confidence_bound
+from repro.optimizers.base import Optimizer, OptimizerObservation, objective_to_cost
+from repro.optimizers.gp import GaussianProcessOptimizer
+from repro.optimizers.random_search import RandomSearchOptimizer
+from repro.optimizers.smac import SMACOptimizer
+
+
+def build_optimizer(name: str, space, seed=None, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name (``smac``, ``gp`` or ``random``)."""
+    name = name.lower()
+    if name == "smac":
+        return SMACOptimizer(space, seed=seed, **kwargs)
+    if name == "gp":
+        return GaussianProcessOptimizer(space, seed=seed, **kwargs)
+    if name == "random":
+        return RandomSearchOptimizer(space, seed=seed, **kwargs)
+    raise KeyError(f"unknown optimizer {name!r}; known: smac, gp, random")
+
+
+__all__ = [
+    "GaussianProcessOptimizer",
+    "Optimizer",
+    "OptimizerObservation",
+    "RandomSearchOptimizer",
+    "SMACOptimizer",
+    "build_optimizer",
+    "expected_improvement",
+    "objective_to_cost",
+    "upper_confidence_bound",
+]

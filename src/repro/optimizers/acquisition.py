@@ -1,0 +1,51 @@
+"""Acquisition functions for Bayesian optimization (minimisation convention)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def expected_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best_cost: float,
+    xi: float = 0.01,
+) -> np.ndarray:
+    """Expected improvement over ``best_cost`` when *minimising*.
+
+    Parameters
+    ----------
+    mean, std:
+        Surrogate posterior mean and standard deviation at the candidates.
+    best_cost:
+        Lowest observed cost so far (the incumbent).
+    xi:
+        Exploration bonus; larger values favour exploration.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if mean.shape != std.shape:
+        raise ValueError("mean and std must have the same shape")
+    std = np.maximum(std, 1e-12)
+    improvement = best_cost - mean - xi
+    z = improvement / std
+    ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    return np.maximum(ei, 0.0)
+
+
+def upper_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, kappa: float = 1.8
+) -> np.ndarray:
+    """Lower-confidence-bound score for minimisation (negated for argmax use).
+
+    Returns values where *larger is better* so callers can uniformly take an
+    argmax over acquisition scores.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if mean.shape != std.shape:
+        raise ValueError("mean and std must have the same shape")
+    if kappa < 0:
+        raise ValueError("kappa must be non-negative")
+    return -(mean - kappa * std)

@@ -1,0 +1,99 @@
+"""Common ask/tell optimizer interface.
+
+All optimizers *minimise a cost*.  The tuning loop converts the workload's
+objective into a cost with :func:`objective_to_cost` (throughput is negated;
+runtimes and latencies pass through).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.workloads.base import Objective
+
+
+def objective_to_cost(value: float, objective: Objective) -> float:
+    """Convert an objective value into a cost to be minimised."""
+    if objective.higher_is_better:
+        return -float(value)
+    return float(value)
+
+
+def cost_to_objective(cost: float, objective: Objective) -> float:
+    """Inverse of :func:`objective_to_cost`."""
+    if objective.higher_is_better:
+        return -float(cost)
+    return float(cost)
+
+
+@dataclass
+class OptimizerObservation:
+    """One (configuration, cost) observation reported to an optimizer."""
+
+    config: Configuration
+    cost: float
+    budget: float = 1.0
+    metadata: Dict = field(default_factory=dict)
+
+
+class Optimizer(abc.ABC):
+    """Sequential model-based optimizer with an ask/tell interface."""
+
+    def __init__(self, space: ConfigurationSpace, seed: Optional[int] = None) -> None:
+        self.space = space
+        self._rng = np.random.default_rng(seed)
+        self.observations: List[OptimizerObservation] = []
+
+    # -- interface -------------------------------------------------------
+    @abc.abstractmethod
+    def ask(self) -> Configuration:
+        """Suggest the next configuration to evaluate."""
+
+    def tell(
+        self,
+        config: Configuration,
+        cost: float,
+        budget: float = 1.0,
+        metadata: Optional[Dict] = None,
+    ) -> None:
+        """Report the cost observed for a configuration."""
+        if not np.isfinite(cost):
+            raise ValueError("cost must be finite; penalise crashes before telling")
+        self.observations.append(
+            OptimizerObservation(config, float(cost), float(budget), metadata or {})
+        )
+
+    # -- shared helpers -------------------------------------------------------
+    @property
+    def n_observations(self) -> int:
+        return len(self.observations)
+
+    def best_observation(self) -> OptimizerObservation:
+        """The lowest-cost observation, restricted to the highest budget seen."""
+        if not self.observations:
+            raise RuntimeError("no observations yet")
+        max_budget = max(obs.budget for obs in self.observations)
+        candidates = [obs for obs in self.observations if obs.budget >= max_budget]
+        return min(candidates, key=lambda obs: obs.cost)
+
+    def _training_data(self) -> tuple:
+        """Encode observations for surrogate fitting.
+
+        If a configuration has been observed at several budgets, only its
+        highest-budget observation is kept (the most trustworthy one), and
+        within the same budget the most recent observation wins.
+        """
+        best_per_config: Dict[Configuration, OptimizerObservation] = {}
+        for obs in self.observations:
+            existing = best_per_config.get(obs.config)
+            if existing is None or obs.budget >= existing.budget:
+                best_per_config[obs.config] = obs
+        configs = list(best_per_config.keys())
+        X = self.space.encode_batch(configs)
+        y = np.array([best_per_config[c].cost for c in configs], dtype=float)
+        return X, y, configs

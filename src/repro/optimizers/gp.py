@@ -1,0 +1,64 @@
+"""OtterTune-style Gaussian-process Bayesian optimizer (§6.6)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernels import Matern52Kernel
+from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.base import Optimizer
+
+
+class GaussianProcessOptimizer(Optimizer):
+    """GP + Expected Improvement optimizer over the unit-cube encoding."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        seed: Optional[int] = None,
+        n_initial_design: int = 10,
+        n_candidates: int = 500,
+        length_scale: float = 0.35,
+        noise: float = 1e-4,
+        xi: float = 0.01,
+    ) -> None:
+        super().__init__(space, seed=seed)
+        if n_initial_design < 1:
+            raise ValueError("n_initial_design must be >= 1")
+        self.n_initial_design = n_initial_design
+        self.n_candidates = n_candidates
+        self.length_scale = length_scale
+        self.noise = noise
+        self.xi = xi
+        self._initial_served = 0
+
+    def ask(self) -> Configuration:
+        if self._initial_served < self.n_initial_design:
+            self._initial_served += 1
+            return self.space.sample(self._rng)
+        if self.n_observations < 2:
+            return self.space.sample(self._rng)
+
+        X, y, configs = self._training_data()
+        gp = GaussianProcessRegressor(
+            kernel=Matern52Kernel(length_scale=self.length_scale),
+            noise=self.noise,
+            normalize_y=True,
+        )
+        gp.fit(X, y)
+
+        candidates = self.space.sample_batch(self.n_candidates, rng=self._rng)
+        if configs:
+            order = np.argsort(y)
+            top = [configs[int(i)] for i in order[: max(1, len(order) // 10)]]
+            for incumbent in top:
+                candidates.extend(self.space.neighbours(incumbent, 20, rng=self._rng, scale=0.1))
+        cand_X = self.space.encode_batch(candidates)
+        mean, std = gp.predict(cand_X, return_std=True)
+        ei = expected_improvement(mean, std, best_cost=float(np.min(y)), xi=self.xi)
+        best_indices = np.flatnonzero(ei >= ei.max() - 1e-12)
+        return candidates[int(self._rng.choice(best_indices))]

@@ -1,0 +1,18 @@
+"""Pure random search baseline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.optimizers.base import Optimizer
+
+
+class RandomSearchOptimizer(Optimizer):
+    """Uniformly random suggestions (the weakest sensible baseline)."""
+
+    def __init__(self, space: ConfigurationSpace, seed: Optional[int] = None) -> None:
+        super().__init__(space, seed=seed)
+
+    def ask(self) -> Configuration:
+        return self.space.sample(self._rng)

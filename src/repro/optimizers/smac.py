@@ -1,0 +1,118 @@
+"""SMAC-style Bayesian optimization with a random-forest surrogate.
+
+This mirrors the structure of SMAC3 (the optimizer the paper uses by
+default, §5): an initial design of random configurations, a random-forest
+surrogate with uncertainty estimates, Expected Improvement as acquisition,
+and a candidate pool mixing uniformly random configurations with local
+perturbations of the best configurations seen so far ("local search").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.ml.forest import RandomForestRegressor
+from repro.optimizers.acquisition import expected_improvement
+from repro.optimizers.base import Optimizer
+
+
+class SMACOptimizer(Optimizer):
+    """Random-forest Bayesian optimizer.
+
+    Parameters
+    ----------
+    space:
+        The configuration space to search.
+    n_initial_design:
+        Number of random configurations evaluated before the surrogate is
+        trusted (the paper's "initialization set").
+    n_candidates:
+        Number of random candidates scored by EI per ask.
+    n_local:
+        Number of local perturbations of the best configurations added to the
+        candidate pool.
+    n_trees:
+        Size of the random-forest surrogate.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        seed: Optional[int] = None,
+        n_initial_design: int = 10,
+        n_candidates: int = 400,
+        n_local: int = 60,
+        n_trees: int = 24,
+        xi: float = 0.01,
+        initial_design: Optional[List[Configuration]] = None,
+    ) -> None:
+        super().__init__(space, seed=seed)
+        if n_initial_design < 1:
+            raise ValueError("n_initial_design must be >= 1")
+        self.n_initial_design = n_initial_design
+        self.n_candidates = n_candidates
+        self.n_local = n_local
+        self.n_trees = n_trees
+        self.xi = xi
+        self._initial_design: List[Configuration] = (
+            list(initial_design) if initial_design is not None else []
+        )
+        self._initial_served = 0
+        self._asked_pending: List[Configuration] = []
+
+    # -- initial design ------------------------------------------------------
+    def _next_initial(self) -> Optional[Configuration]:
+        if self._initial_served < len(self._initial_design):
+            config = self._initial_design[self._initial_served]
+            self._initial_served += 1
+            return config
+        if self._initial_served < self.n_initial_design:
+            self._initial_served += 1
+            return self.space.sample(self._rng)
+        return None
+
+    # -- surrogate ------------------------------------------------------
+    def _fit_surrogate(self) -> tuple:
+        X, y, configs = self._training_data()
+        forest = RandomForestRegressor(
+            n_estimators=self.n_trees,
+            min_samples_leaf=1,
+            min_samples_split=3,
+            max_features=5.0 / 6.0,
+            seed=int(self._rng.integers(0, 2**31 - 1)),
+        )
+        forest.fit(X, y)
+        return forest, X, y, configs
+
+    def _candidate_pool(self, configs: List[Configuration], y: np.ndarray) -> List[Configuration]:
+        candidates = self.space.sample_batch(self.n_candidates, rng=self._rng)
+        if configs:
+            order = np.argsort(y)
+            top = [configs[int(i)] for i in order[: max(1, len(order) // 10)]]
+            per_incumbent = max(1, self.n_local // len(top))
+            for incumbent in top:
+                candidates.extend(
+                    self.space.neighbours(incumbent, per_incumbent, rng=self._rng, scale=0.15)
+                )
+        return candidates
+
+    # -- ask ------------------------------------------------------
+    def ask(self) -> Configuration:
+        initial = self._next_initial()
+        if initial is not None:
+            return initial
+        if self.n_observations < 2:
+            return self.space.sample(self._rng)
+
+        forest, X, y, configs = self._fit_surrogate()
+        candidates = self._candidate_pool(configs, y)
+        cand_X = self.space.encode_batch(candidates)
+        mean, std = forest.predict_mean_std(cand_X)
+        ei = expected_improvement(mean, std, best_cost=float(np.min(y)), xi=self.xi)
+        # Break ties randomly so repeated asks don't collapse to one point.
+        best_indices = np.flatnonzero(ei >= ei.max() - 1e-12)
+        choice = int(self._rng.choice(best_indices))
+        return candidates[choice]

@@ -1,0 +1,49 @@
+"""System-under-Test (SuT) simulators.
+
+Each simulator exposes a knob space (:mod:`repro.configspace`) and a
+``run(config, workload, vm, ...)`` method that returns an
+:class:`~repro.systems.base.EvaluationResult`: the objective value measured
+for that configuration on that VM, plus the guest telemetry the TUNA noise
+adjuster consumes.
+
+The three systems match the paper's evaluation targets:
+
+* :class:`~repro.systems.postgres.PostgreSQLSystem` — buffer pool, WAL /
+  checkpointing, work_mem spills, parallel query and a query-planner model
+  whose near-tied candidate plans are the source of *unstable*
+  configurations (§3.2.1).
+* :class:`~repro.systems.redis.RedisSystem` — in-memory store with eviction,
+  persistence (fork/copy-on-write memory spikes) and out-of-memory crashes
+  for overly aggressive configurations (§6.4, Fig. 14).
+* :class:`~repro.systems.nginx.NginxSystem` — event-driven web server with a
+  worker/connection queueing model serving the Wikipedia trace (Fig. 15).
+"""
+
+from repro.systems.base import EvaluationResult, SystemUnderTest
+from repro.systems.nginx import NginxSystem
+from repro.systems.postgres import PostgreSQLSystem
+from repro.systems.redis import RedisSystem
+
+SYSTEMS = {
+    "postgres": PostgreSQLSystem,
+    "redis": RedisSystem,
+    "nginx": NginxSystem,
+}
+
+
+def get_system(name: str) -> SystemUnderTest:
+    """Instantiate one of the predefined systems by name."""
+    if name not in SYSTEMS:
+        raise KeyError(f"unknown system {name!r}; known: {sorted(SYSTEMS)}")
+    return SYSTEMS[name]()
+
+
+__all__ = [
+    "EvaluationResult",
+    "NginxSystem",
+    "PostgreSQLSystem",
+    "RedisSystem",
+    "SYSTEMS",
+    "SystemUnderTest",
+    "get_system",
+]

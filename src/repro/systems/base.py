@@ -1,0 +1,142 @@
+"""Common System-under-Test interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cloud.telemetry import TelemetrySample
+from repro.cloud.vm import MeasurementContext, VirtualMachine
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.workloads.base import Objective, Workload, WorkloadKind
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of running one configuration of a system on one VM.
+
+    Attributes
+    ----------
+    objective_value:
+        Measured value in the workload objective's unit (tx/s, seconds, ms).
+        For crashed runs this is the value *after* the crash penalty has been
+        applied by the caller — the raw result carries ``crashed=True`` and
+        an objective value of ``nan`` until penalised.
+    objective:
+        Which objective the value refers to.
+    crashed:
+        Whether the system crashed during the run (e.g. Redis OOM).
+    resource_usage:
+        Per-component demand in ``[0, 1]`` — the usage profile handed to the
+        telemetry generator.
+    telemetry:
+        Guest-OS metrics sampled during the run (``None`` for crashed runs).
+    context:
+        The node state the run observed.
+    details:
+        Model internals useful for analysis and tests (plan quality, buffer
+        hit ratio, …).
+    """
+
+    objective_value: float
+    objective: Objective
+    crashed: bool = False
+    resource_usage: Dict[str, float] = field(default_factory=dict)
+    telemetry: Optional[TelemetrySample] = None
+    context: Optional[MeasurementContext] = None
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self.objective.higher_is_better
+
+
+class SystemUnderTest(abc.ABC):
+    """A tunable system with a knob space and a performance model."""
+
+    #: Human-readable system name, e.g. ``"postgres"``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._space = self.build_knob_space()
+
+    # -- knob space ----------------------------------------------------------
+    @abc.abstractmethod
+    def build_knob_space(self) -> ConfigurationSpace:
+        """Construct the system's configuration space (called once)."""
+
+    @property
+    def knob_space(self) -> ConfigurationSpace:
+        return self._space
+
+    def default_configuration(self) -> Configuration:
+        return self._space.default_configuration()
+
+    # -- workloads ----------------------------------------------------------
+    @abc.abstractmethod
+    def supports(self, workload: Workload) -> bool:
+        """Whether this system can run the given workload."""
+
+    def _check_workload(self, workload: Workload) -> None:
+        if not self.supports(workload):
+            raise ValueError(
+                f"system {self.name!r} does not support workload {workload.name!r}"
+            )
+
+    # -- evaluation ----------------------------------------------------------
+    @abc.abstractmethod
+    def run(
+        self,
+        config: Configuration,
+        workload: Workload,
+        vm: VirtualMachine,
+        rng: Optional[np.random.Generator] = None,
+        collect_telemetry: bool = True,
+    ) -> EvaluationResult:
+        """Run ``workload`` under ``config`` on ``vm`` and measure performance."""
+
+    # -- helpers shared by the concrete systems -------------------------------
+    @staticmethod
+    def _weighted_slowdown(
+        demands: Dict[str, float], context: MeasurementContext
+    ) -> float:
+        """Average inverse speed over components, weighted by demand share.
+
+        ``demands`` holds the share of run time attributable to each
+        component under the *current* configuration; dividing each share by
+        the node's component multiplier yields the platform-induced slowdown
+        for this particular measurement.
+        """
+        total = sum(demands.values())
+        if total <= 0:
+            raise ValueError("demand shares must sum to a positive value")
+        slowdown = 0.0
+        for component, share in demands.items():
+            slowdown += (share / total) / max(context.multiplier(component), 0.05)
+        return slowdown
+
+    @staticmethod
+    def _normalise_demands(demands: Dict[str, float]) -> Dict[str, float]:
+        total = sum(demands.values())
+        if total <= 0:
+            raise ValueError("demand shares must sum to a positive value")
+        return {component: share / total for component, share in demands.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(knobs={len(self.knob_space)})"
+
+
+def crash_penalty_value(workload: Workload, observed_worst: float) -> float:
+    """Penalty objective value assigned to a crashed run.
+
+    Follows the paper's methodology (§6.4): crashed runs are replaced with
+    the worst value observed for the default configuration rather than with
+    infinity.  For throughput objectives the penalty is a very low
+    throughput instead.
+    """
+    if workload.higher_is_better:
+        return max(observed_worst, 1e-6)
+    return observed_worst

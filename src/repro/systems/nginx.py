@@ -1,0 +1,202 @@
+"""NGINX simulator.
+
+The paper serves the top-500 Wikipedia pages (including media) through NGINX
+and tunes for 95th-percentile full-page latency (§6.4, Fig. 15).  The model
+is a worker/connection queueing system: each request costs CPU (TLS, gzip),
+file access (page cache vs disk, amortised by ``open_file_cache``), OS work
+(accept/connection churn, logging) and network transfer (shrunk by compression for
+text, unchanged for media), and the achievable concurrency is bounded by
+``worker_processes`` × ``worker_connections``.  Under-provisioned workers on
+an 8-core VM leave most of the machine idle, which is where the default
+configuration's latency comes from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cloud.telemetry import TelemetrySample
+from repro.cloud.vm import VirtualMachine
+from repro.configspace import (
+    BooleanParameter,
+    Configuration,
+    ConfigurationSpace,
+    IntegerParameter,
+)
+from repro.systems.base import EvaluationResult, SystemUnderTest
+from repro.workloads.base import Objective, Workload, WorkloadKind
+
+
+def build_nginx_knob_space(seed: int = 0) -> ConfigurationSpace:
+    """The NGINX knob space used by the reproduction (13 knobs)."""
+    space = ConfigurationSpace(seed=seed)
+    space.add(IntegerParameter("worker_processes", 1, 16, default=1))
+    space.add(IntegerParameter("worker_connections", 256, 16_384, default=512, log=True))
+    space.add(IntegerParameter("keepalive_timeout_s", 0, 300, default=75))
+    space.add(IntegerParameter("keepalive_requests", 10, 10_000, default=100, log=True))
+    space.add(BooleanParameter("sendfile", default=False))
+    space.add(BooleanParameter("tcp_nopush", default=False))
+    space.add(BooleanParameter("tcp_nodelay", default=True))
+    space.add(BooleanParameter("gzip", default=False))
+    space.add(IntegerParameter("gzip_comp_level", 1, 9, default=6))
+    space.add(IntegerParameter("open_file_cache_entries", 1, 65_536, default=1, log=True))
+    space.add(BooleanParameter("access_log", default=True))
+    space.add(BooleanParameter("multi_accept", default=False))
+    space.add(BooleanParameter("aio_threads", default=False))
+    return space
+
+
+class NginxSystem(SystemUnderTest):
+    """Simulated NGINX static/media file server."""
+
+    name = "nginx"
+
+    #: Share of the served bytes that are compressible text (the rest is media).
+    TEXT_FRACTION = 0.45
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._default = self.knob_space.default_configuration()
+
+    def build_knob_space(self) -> ConfigurationSpace:
+        return build_nginx_knob_space()
+
+    def supports(self, workload: Workload) -> bool:
+        return workload.kind is WorkloadKind.WEB
+
+    # ------------------------------------------------------------------ model
+    def _request_cost(self, config: Configuration, workload: Workload) -> Dict[str, float]:
+        """Per-request cost (arbitrary time units) per component."""
+        # CPU: base parsing/TLS plus gzip compression cost.
+        cpu = 1.0
+        gzip_enabled = bool(config["gzip"])
+        level = float(config["gzip_comp_level"])
+        if gzip_enabled:
+            cpu += 0.28 * (level / 6.0) * self.TEXT_FRACTION
+
+        # Network transfer: compression shrinks text bytes; tcp_nopush batches
+        # packets for sendfile responses; tcp_nodelay helps small responses.
+        network = 2.2
+        if gzip_enabled:
+            ratio = 0.35 - 0.015 * level  # diminishing returns at high levels
+            network -= 2.2 * self.TEXT_FRACTION * (1.0 - ratio) * 0.55
+        if config["tcp_nopush"] and config["sendfile"]:
+            network *= 0.93
+        if not config["tcp_nodelay"]:
+            network *= 1.06
+
+        # File access: sendfile avoids copying through userspace; the open
+        # file cache amortises stat/open syscalls; aio threads hide disk waits
+        # for the uncached tail.
+        file_cost = 1.1
+        if config["sendfile"]:
+            file_cost *= 0.72
+        cache_entries = float(config["open_file_cache_entries"])
+        cache_cover = min(math.log10(max(cache_entries, 1.0)) / math.log10(65_536.0), 1.0)
+        file_cost *= 1.0 - 0.35 * cache_cover
+        if config["aio_threads"]:
+            file_cost *= 0.93
+
+        # OS: connection churn (amortised by keepalive), accept behaviour,
+        # logging, and the open/stat syscalls not removed by the cache.
+        keepalive_t = float(config["keepalive_timeout_s"])
+        keepalive_r = float(config["keepalive_requests"])
+        if keepalive_t <= 0:
+            conn_churn = 1.0
+        else:
+            reuse = min(keepalive_r, 60.0 + keepalive_t) / 100.0
+            conn_churn = 1.0 / (1.0 + min(reuse, 4.0))
+        os_cost = 0.9 + 1.1 * conn_churn
+        if config["access_log"]:
+            os_cost += 0.22
+        if config["multi_accept"]:
+            os_cost *= 0.95
+        os_cost += 0.5 * (1.0 - cache_cover)
+
+        return {
+            "cpu": cpu,
+            "disk": file_cost * 0.5,
+            "memory": 0.45,
+            "os": os_cost,
+            "cache": 0.5,
+            "network": network,
+        }
+
+    def _queueing_factor(self, config: Configuration, workload: Workload, vcpus: int) -> float:
+        """Latency inflation from limited worker parallelism and connections."""
+        workers = int(config["worker_processes"])
+        effective_workers = min(workers, vcpus)
+        # Too many workers per core causes context-switch thrash.
+        oversubscription = max(0.0, workers - vcpus) / float(vcpus)
+        connections = float(config["worker_connections"]) * effective_workers
+
+        load = float(workload.concurrency)
+        utilisation = min(load / (38.0 * effective_workers), 0.97)
+        queueing = 1.0 + 0.13 * utilisation / (1.0 - utilisation) * 0.12
+        if connections < load:
+            queueing *= 1.0 + 1.5 * (load - connections) / load
+        queueing *= 1.0 + 0.25 * oversubscription
+        return queueing
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        config: Configuration,
+        workload: Workload,
+        vm: VirtualMachine,
+        rng: Optional[np.random.Generator] = None,
+        collect_telemetry: bool = True,
+    ) -> EvaluationResult:
+        self._check_workload(workload)
+        rng = rng if rng is not None else np.random.default_rng()
+
+        duration = workload.duration_hours if workload.duration_hours > 0 else 0.05
+        context = vm.measure(duration, utilisation=0.85, rng=rng)
+
+        costs = self._request_cost(config, workload)
+        costs_default = self._request_cost(self._default, workload)
+        queueing = self._queueing_factor(config, workload, vm.sku.vcpus)
+        queueing_default = self._queueing_factor(self._default, workload, vm.sku.vcpus)
+
+        # Combine per-component costs with the node's multipliers, weighted by
+        # the workload's demand profile normalised to the default costs.
+        rel_time = 0.0
+        rel_default = 0.0
+        shares = workload.component_demands
+        for component, share in shares.items():
+            scale = costs[component] / costs_default[component]
+            rel_time += share * scale / max(context.multiplier(component), 0.05)
+            rel_default += share
+        rel_time /= rel_default
+
+        p95 = (
+            workload.baseline_performance
+            * rel_time
+            * (queueing / queueing_default)
+        )
+        p95 *= float(max(rng.normal(1.0, 0.015), 0.5))
+
+        usage = self._normalise_demands(
+            {c: shares.get(c, 0.0) * costs[c] / costs_default[c] for c in shares}
+        )
+        usage = {k: min(v * 1.6, 1.0) for k, v in usage.items()}
+        telemetry = (
+            TelemetrySample.collect(context, usage, rng=rng) if collect_telemetry else None
+        )
+        details = {
+            "rel_time": rel_time,
+            "queueing": queueing,
+            "queueing_default": queueing_default,
+        }
+        return EvaluationResult(
+            objective_value=float(max(p95, 0.5)),
+            objective=Objective.P95_LATENCY,
+            crashed=False,
+            resource_usage=usage,
+            telemetry=telemetry,
+            context=context,
+            details=details,
+        )

@@ -1,0 +1,12 @@
+"""PostgreSQL simulator."""
+
+from repro.systems.postgres.engine import PostgreSQLSystem
+from repro.systems.postgres.knobs import build_postgres_knob_space
+from repro.systems.postgres.planner import PlanOutcome, QueryPlanner
+
+__all__ = [
+    "PlanOutcome",
+    "PostgreSQLSystem",
+    "QueryPlanner",
+    "build_postgres_knob_space",
+]

@@ -1,0 +1,284 @@
+"""PostgreSQL performance model.
+
+The model decomposes the time to process one unit of work (a transaction for
+OLTP workloads, the whole query batch for OLAP workloads) into per-component
+shares, scales each share according to the configuration relative to the
+stock defaults, divides by the node's component performance multipliers, and
+finally applies the query-planner outcome (:mod:`repro.systems.postgres.planner`)
+to the plan-sensitive fraction of the work.
+
+The absolute calibration targets the default-configuration bars of the
+paper's figures; what matters for the reproduction is the *shape*: which
+knobs carry the improvement for which workload, how much headroom each
+workload has, and where instability comes from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cloud.telemetry import TelemetrySample
+from repro.cloud.vm import VirtualMachine
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.systems.base import EvaluationResult, SystemUnderTest
+from repro.systems.postgres.knobs import build_postgres_knob_space
+from repro.systems.postgres.planner import QueryPlanner
+from repro.workloads.base import Objective, Workload, WorkloadKind
+
+
+# Relative cost of serving a logical read from the shared buffer cache, the
+# OS page cache, and the disk.  Only the ratios matter.
+_COST_SHARED_BUFFER = 1.0
+_COST_OS_CACHE = 6.0
+_COST_DISK = 55.0
+
+
+class PostgreSQLSystem(SystemUnderTest):
+    """Simulated PostgreSQL 16.1 instance."""
+
+    name = "postgres"
+
+    def __init__(self, planner: Optional[QueryPlanner] = None) -> None:
+        super().__init__()
+        self.planner = planner if planner is not None else QueryPlanner()
+        self._default = self.knob_space.default_configuration()
+
+    def build_knob_space(self) -> ConfigurationSpace:
+        return build_postgres_knob_space()
+
+    def supports(self, workload: Workload) -> bool:
+        return workload.kind in (WorkloadKind.OLTP, WorkloadKind.OLAP)
+
+    # ------------------------------------------------------------------ model
+    @staticmethod
+    def _hit_ratio(cache_mb: float, data_mb: float, skew: float) -> float:
+        """Cache hit ratio for ``cache_mb`` of cache over ``data_mb`` of data.
+
+        Skewed access patterns reach high hit ratios with small caches, which
+        is the standard concave cache curve.
+        """
+        coverage = min(max(cache_mb, 0.0) / data_mb, 1.0)
+        if coverage <= 0.0:
+            return 0.0
+        return float(coverage ** (1.0 / (1.0 + skew)))
+
+    def _read_path_cost(
+        self, config: Configuration, workload: Workload, memory_mb: float
+    ) -> float:
+        """Average cost of a logical read under this configuration."""
+        buffers_mb = float(config["shared_buffers_mb"])
+        work_mem_footprint = (
+            float(config["work_mem_mb"]) * workload.concurrency * 0.25
+            + float(config["maintenance_work_mem_mb"])
+        )
+        os_cache_mb = max(memory_mb * 0.85 - buffers_mb - work_mem_footprint, 0.0)
+
+        hit_buffer = self._hit_ratio(buffers_mb, workload.working_set_mb, workload.skew)
+        hit_os = self._hit_ratio(os_cache_mb, workload.dataset_mb, workload.skew)
+
+        miss_buffer = 1.0 - hit_buffer
+        return (
+            hit_buffer * _COST_SHARED_BUFFER
+            + miss_buffer * hit_os * _COST_OS_CACHE
+            + miss_buffer * (1.0 - hit_os) * _COST_DISK
+        )
+
+    def _spill_extra(self, config: Configuration, workload: Workload) -> float:
+        """Extra work caused by sorts/hashes spilling to temporary files."""
+        required_mb = 8.0 + 500.0 * workload.sort_hash_intensity
+        spill = max(0.0, 1.0 - float(config["work_mem_mb"]) / required_mb)
+        strength = 0.50 + 0.80 * workload.join_complexity
+        return strength * workload.sort_hash_intensity * spill
+
+    def _checkpoint_factor(self, config: Configuration) -> float:
+        """Checkpoint write amplification relative to a perfectly smooth setup."""
+        wal_size = float(config["max_wal_size_mb"])
+        target = float(config["checkpoint_completion_target"])
+        size_factor = 0.55 + 0.45 * math.sqrt(1_024.0 / wal_size)
+        smoothing = 1.0 + 0.25 * (0.9 - target)
+        return size_factor * smoothing
+
+    def _flush_factor(self, config: Configuration) -> float:
+        """Per-commit WAL flush cost; asynchronous commit removes the wait."""
+        if not config["synchronous_commit"]:
+            return 0.15
+        wal_buffers = float(config["wal_buffers_mb"])
+        return 0.88 + 0.12 * math.sqrt(16.0 / wal_buffers)
+
+    def _parallel_factor(self, config: Configuration, workload: Workload) -> float:
+        workers = float(config["max_parallel_workers_per_gather"])
+        return 1.0 / (1.0 + workload.parallel_friendliness * math.log2(1.0 + workers))
+
+    def _cpu_factor(self, config: Configuration, workload: Workload) -> float:
+        factor = self._parallel_factor(config, workload)
+        if not config["jit"]:
+            factor *= 1.0 + 0.18 * workload.parallel_friendliness
+        # A mild genuine benefit for SSD-appropriate planner costs on the
+        # plan-insensitive queries: this is the lure that draws the optimizer
+        # towards low random_page_cost, where the unstable near-tie band lives.
+        rpc = float(config["random_page_cost"])
+        factor *= 1.0 - 0.05 * max(0.0, (4.0 - rpc)) / 3.0
+        eic = float(config["effective_io_concurrency"])
+        factor *= 1.0 - 0.04 * workload.parallel_friendliness * math.log10(max(eic, 1.0)) / math.log10(512.0)
+        return factor
+
+    def _os_factor(self, config: Configuration, workload: Workload) -> float:
+        factor = 1.0
+        if not config["autovacuum"]:
+            factor *= 1.0 + 0.10 * workload.write_fraction
+        delay = float(config["bgwriter_delay_ms"])
+        factor *= 1.0 + 0.03 * abs(math.log10(delay / 200.0))
+        return factor
+
+    def _memory_footprint_mb(self, config: Configuration, workload: Workload) -> float:
+        return (
+            float(config["shared_buffers_mb"])
+            + float(config["work_mem_mb"])
+            * workload.concurrency
+            * (0.2 + 0.6 * workload.sort_hash_intensity)
+            + float(config["maintenance_work_mem_mb"]) * 2.0
+            + float(config["wal_buffers_mb"])
+            + 300.0  # base server processes
+        )
+
+    def _component_scales(
+        self, config: Configuration, workload: Workload, memory_mb: float
+    ) -> Dict[str, float]:
+        """Per-component time scale of ``config`` relative to the defaults."""
+        default = self._default
+
+        read_cost = self._read_path_cost(config, workload, memory_mb)
+        read_cost_default = self._read_path_cost(default, workload, memory_mb)
+        read_scale = read_cost / read_cost_default
+
+        spill = self._spill_extra(config, workload)
+        spill_default = self._spill_extra(default, workload)
+        spill_scale = (1.0 + spill) / (1.0 + spill_default)
+
+        ckpt_scale = self._checkpoint_factor(config) / self._checkpoint_factor(default)
+        flush_scale = self._flush_factor(config) / self._flush_factor(default)
+        cpu_scale = self._cpu_factor(config, workload) / self._cpu_factor(default, workload)
+        os_scale = self._os_factor(config, workload) / self._os_factor(default, workload)
+
+        # The disk share splits into reads, WAL flushes and checkpoint writes.
+        write_fraction = workload.write_fraction
+        read_part = 1.0 - write_fraction
+        flush_part = 0.7 * write_fraction
+        ckpt_part = 0.3 * write_fraction
+        disk_scale = (
+            read_part * read_scale + flush_part * flush_scale + ckpt_part * ckpt_scale
+        ) * spill_scale
+
+        # Memory pressure: approaching the VM's physical memory causes swap.
+        footprint = self._memory_footprint_mb(config, workload)
+        pressure = max(0.0, footprint / (memory_mb * 0.95) - 1.0)
+        memory_scale = spill_scale * (1.0 + 3.0 * pressure)
+
+        return {
+            "cpu": cpu_scale * spill_scale,
+            "disk": disk_scale * (1.0 + 4.0 * pressure),
+            "memory": memory_scale,
+            "os": os_scale,
+            "cache": spill_scale,
+            "network": 1.0,
+        }
+
+    def _crash_probability(
+        self, config: Configuration, workload: Workload, memory_mb: float
+    ) -> float:
+        """Out-of-memory crash probability for over-committed configurations."""
+        footprint = self._memory_footprint_mb(config, workload)
+        overcommit = footprint / memory_mb
+        if overcommit <= 1.05:
+            return 0.0
+        return float(min(1.0, (overcommit - 1.05) * 2.5))
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        config: Configuration,
+        workload: Workload,
+        vm: VirtualMachine,
+        rng: Optional[np.random.Generator] = None,
+        collect_telemetry: bool = True,
+    ) -> EvaluationResult:
+        self._check_workload(workload)
+        rng = rng if rng is not None else np.random.default_rng()
+        memory_mb = vm.sku.memory_gb * 1024.0
+
+        duration = workload.duration_hours if workload.duration_hours > 0 else 0.05
+        context = vm.measure(duration, utilisation=0.9, rng=rng)
+
+        crash_probability = self._crash_probability(config, workload, memory_mb)
+        if crash_probability > 0 and rng.random() < crash_probability:
+            return EvaluationResult(
+                objective_value=float("nan"),
+                objective=workload.objective,
+                crashed=True,
+                resource_usage={},
+                telemetry=None,
+                context=context,
+                details={"crash_probability": crash_probability},
+            )
+
+        scales = self._component_scales(config, workload, memory_mb)
+        base_shares = dict(workload.component_demands)
+        scaled_shares = {
+            component: base_shares.get(component, 0.0) * scales[component]
+            for component in scales
+        }
+
+        # Platform slowdown: each share divided by the node's multiplier.
+        rel_time = 0.0
+        for component, share in scaled_shares.items():
+            rel_time += share / max(context.multiplier(component), 0.05)
+
+        # Query-planner outcome on the plan-sensitive fraction of the work.
+        outcome = self.planner.plan(config, workload, vm.vm_id, rng=rng)
+        plan_fraction = workload.plan_sensitivity
+        rel_time *= (1.0 - plan_fraction) + plan_fraction * outcome.multiplier
+
+        # Residual application-level run-to-run noise.
+        rel_time *= float(max(rng.normal(1.0, 0.01), 0.5))
+
+        if workload.objective is Objective.THROUGHPUT:
+            value = workload.baseline_performance / rel_time
+        elif workload.objective is Objective.RUNTIME:
+            value = workload.baseline_performance * rel_time
+        else:
+            value = workload.baseline_performance * rel_time
+
+        usage = self._resource_usage(scaled_shares)
+        telemetry = None
+        if collect_telemetry:
+            telemetry = TelemetrySample.collect(context, usage, rng=rng)
+
+        details = {
+            "rel_time": rel_time,
+            "plan_multiplier": outcome.multiplier,
+            "plan_risky_probability": outcome.risky_probability,
+            "read_path_cost": self._read_path_cost(config, workload, memory_mb),
+            "crash_probability": crash_probability,
+        }
+        return EvaluationResult(
+            objective_value=float(value),
+            objective=workload.objective,
+            crashed=False,
+            resource_usage=usage,
+            telemetry=telemetry,
+            context=context,
+            details=details,
+        )
+
+    @staticmethod
+    def _resource_usage(scaled_shares: Dict[str, float]) -> Dict[str, float]:
+        total = sum(scaled_shares.values())
+        if total <= 0:
+            return {component: 0.0 for component in scaled_shares}
+        return {
+            component: min(share / total * 1.5, 1.0)
+            for component, share in scaled_shares.items()
+        }

@@ -1,0 +1,67 @@
+"""PostgreSQL 16 knob space.
+
+A 20-knob subset of the PostgreSQL configuration covering the knobs that
+matter for the paper's workloads: buffer management, WAL / checkpointing,
+per-operation memory, parallel query, planner cost constants and the
+``enable_*`` plan-method switches whose interactions produce unstable
+configurations (§3.2.1).  Defaults follow the stock ``postgresql.conf``.
+"""
+
+from __future__ import annotations
+
+from repro.configspace import (
+    BooleanParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+
+
+def build_postgres_knob_space(seed: int = 0) -> ConfigurationSpace:
+    """Build the PostgreSQL knob space used throughout the reproduction."""
+    space = ConfigurationSpace(seed=seed)
+
+    # --- memory / buffers
+    space.add(IntegerParameter("shared_buffers_mb", 16, 16_384, default=128, log=True))
+    space.add(
+        IntegerParameter("effective_cache_size_mb", 64, 24_576, default=4_096, log=True)
+    )
+    space.add(IntegerParameter("work_mem_mb", 1, 2_048, default=4, log=True))
+    space.add(
+        IntegerParameter("maintenance_work_mem_mb", 16, 2_048, default=64, log=True)
+    )
+
+    # --- WAL / checkpointing
+    space.add(IntegerParameter("wal_buffers_mb", 1, 256, default=16, log=True))
+    space.add(IntegerParameter("max_wal_size_mb", 256, 16_384, default=1_024, log=True))
+    space.add(
+        FloatParameter("checkpoint_completion_target", 0.1, 0.99, default=0.9)
+    )
+    space.add(BooleanParameter("synchronous_commit", default=True))
+    space.add(IntegerParameter("bgwriter_delay_ms", 10, 1_000, default=200, log=True))
+
+    # --- parallelism / execution
+    space.add(
+        IntegerParameter("max_parallel_workers_per_gather", 0, 8, default=2)
+    )
+    space.add(BooleanParameter("jit", default=True))
+    space.add(BooleanParameter("autovacuum", default=True))
+
+    # --- planner cost model
+    space.add(FloatParameter("random_page_cost", 1.0, 10.0, default=4.0))
+    space.add(
+        IntegerParameter("effective_io_concurrency", 1, 512, default=1, log=True)
+    )
+    space.add(
+        IntegerParameter("default_statistics_target", 10, 1_000, default=100, log=True)
+    )
+
+    # --- plan-method switches (the unstable-configuration knobs of §3.2.1)
+    space.add(BooleanParameter("enable_seqscan", default=True))
+    space.add(BooleanParameter("enable_indexscan", default=True))
+    space.add(BooleanParameter("enable_bitmapscan", default=True))
+    space.add(BooleanParameter("enable_hashjoin", default=True))
+    space.add(BooleanParameter("enable_mergejoin", default=True))
+    space.add(BooleanParameter("enable_nestloop", default=True))
+
+    return space

@@ -1,0 +1,167 @@
+"""Query-planner model: the root cause of unstable configurations.
+
+The paper traces unstable TPC-C configurations to the planner (§3.2.1): the
+two top candidate plans for the JOIN query are *estimated* to cost almost the
+same, but one of them is in reality two orders of magnitude slower.  Which of
+the two gets picked on a given machine depends on minute differences in the
+cost model's inputs (statistics samples, cached relation sizes), so well- and
+badly-performing machines coexist for the same configuration.
+
+This module reproduces that mechanism:
+
+* A **robust plan** (hash join, falling back to merge join) whose estimated
+  and true costs are both moderate.
+* A **risky plan** (index nested loop over a mis-estimated correlated
+  predicate) whose estimated cost is driven down by ``random_page_cost`` and
+  ``effective_io_concurrency``, but whose true cost is 25-80× the robust plan.
+* Per-node estimation perturbations whose magnitude shrinks with
+  ``default_statistics_target``; when the two estimates are near-tied, the
+  perturbation decides — differently on different nodes.
+
+The outcome is exactly the paper's taxonomy: configurations where the risky
+plan is estimated clearly worse are *stable good*; where it is estimated
+clearly better they are *stable bad* (and quickly discarded by the tuner);
+in the near-tie band they are *unstable*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.configspace import Configuration
+from repro.workloads.base import Workload
+
+
+@dataclass
+class PlanOutcome:
+    """Result of planning the workload's plan-sensitive queries."""
+
+    #: Execution-time multiplier applied to the plan-sensitive fraction of the
+    #: workload (1.0 = the robust plan; >> 1 = the risky plan misfired).
+    multiplier: float
+    #: Name of the selected plan.
+    plan_name: str
+    #: Estimated cost gap (risky - robust); small absolute values mean the
+    #: configuration sits in the unstable near-tie band.
+    estimated_gap: float
+    #: Probability that a random node picks the risky plan for this config.
+    risky_probability: float
+
+    @property
+    def picked_risky(self) -> bool:
+        return self.plan_name == "risky_index_nestloop"
+
+
+class QueryPlanner:
+    """Deterministic-per-node candidate-plan selection model."""
+
+    #: True execution-time multiplier of the risky plan relative to the robust
+    #: one (before workload-specific join complexity scaling).
+    RISKY_TRUE_MULTIPLIER = 30.0
+
+    def __init__(self, estimation_noise: float = 0.05, run_jitter: float = 0.015) -> None:
+        if estimation_noise <= 0:
+            raise ValueError("estimation_noise must be positive")
+        self.estimation_noise = estimation_noise
+        self.run_jitter = run_jitter
+
+    # -- candidate cost estimates -------------------------------------------------
+    @staticmethod
+    def robust_plan_cost(config: Configuration) -> float:
+        """Estimated cost of the best *robust* join plan available."""
+        spill_penalty = 0.12 if config["work_mem_mb"] < 8 else 0.0
+        if config["enable_hashjoin"]:
+            return 1.0 + spill_penalty
+        if config["enable_mergejoin"]:
+            return 1.40 + spill_penalty
+        # Only nested-loop style plans remain; the "robust" fallback is an
+        # expensive materialised nested loop.
+        return 1.90
+
+    @staticmethod
+    def risky_plan_available(config: Configuration) -> bool:
+        return bool(
+            config["enable_nestloop"]
+            and (config["enable_indexscan"] or config["enable_bitmapscan"])
+        )
+
+    @staticmethod
+    def risky_plan_cost(config: Configuration) -> float:
+        """Estimated cost of the risky index-nested-loop plan.
+
+        Lowering ``random_page_cost`` (a very common SSD tuning move) and
+        raising ``effective_io_concurrency`` make index probes look cheap,
+        dragging the estimate below the robust plan's.
+        """
+        rpc = float(config["random_page_cost"])
+        eic = float(config["effective_io_concurrency"])
+        io_discount = 0.10 * np.log10(max(eic, 1.0)) / np.log10(512.0)
+        return 0.75 + 0.16 * rpc - io_discount
+
+    def estimation_sigma(self, config: Configuration) -> float:
+        """Per-node estimation noise; better statistics narrow the spread."""
+        stats_target = float(config["default_statistics_target"])
+        return self.estimation_noise * (100.0 / stats_target) ** 0.3
+
+    # -- node-specific perturbation -------------------------------------------------
+    @staticmethod
+    def _node_unit(vm_id: str, config: Configuration) -> float:
+        """Deterministic uniform(0,1) draw for a (node, config) pair.
+
+        The same configuration evaluated again on the same node sees (almost)
+        the same statistics and cached state, so its plan choice should be
+        consistent there, while different nodes may disagree — which is what
+        a hash of (node id, config signature) provides.
+        """
+        signature = repr(sorted(config.as_dict().items()))
+        digest = hashlib.sha256(f"{vm_id}|{signature}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / float(2**64)
+
+    # -- selection -------------------------------------------------------------------
+    def plan(
+        self,
+        config: Configuration,
+        workload: Workload,
+        vm_id: str,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PlanOutcome:
+        """Choose a plan for the workload's plan-sensitive queries on a node."""
+        if workload.plan_sensitivity <= 0.0:
+            return PlanOutcome(1.0, "robust", float("inf"), 0.0)
+
+        robust_cost = self.robust_plan_cost(config)
+        if not self.risky_plan_available(config):
+            return PlanOutcome(1.0, "robust", float("inf"), 0.0)
+
+        risky_cost = self.risky_plan_cost(config)
+        sigma = self.estimation_sigma(config)
+        gap = risky_cost - robust_cost
+
+        # Probability that estimation noise flips the comparison on a node.
+        risky_probability = float(
+            1.0 - _normal_cdf(gap / (np.sqrt(2.0) * sigma))
+        )
+
+        # Deterministic node draw plus a little run-to-run jitter (autovacuum
+        # and ANALYZE refresh statistics between runs).
+        unit = self._node_unit(vm_id, config)
+        if rng is not None and self.run_jitter > 0:
+            unit = float(np.clip(unit + rng.normal(0.0, self.run_jitter), 0.0, 1.0))
+
+        if unit < risky_probability:
+            multiplier = self.RISKY_TRUE_MULTIPLIER * (
+                1.0 + 1.5 * workload.join_complexity
+            )
+            return PlanOutcome(multiplier, "risky_index_nestloop", gap, risky_probability)
+        return PlanOutcome(1.0, "robust", gap, risky_probability)
+
+
+def _normal_cdf(x: float) -> float:
+    """Standard normal CDF without importing scipy at module import time."""
+    from math import erf, sqrt
+
+    return 0.5 * (1.0 + erf(x / sqrt(2.0)))

@@ -1,0 +1,45 @@
+"""Workload descriptors.
+
+The paper evaluates six workloads across three systems (§6): TPC-C,
+epinions, TPC-H and mssales on PostgreSQL; YCSB-C on Redis; and a
+Wikipedia-serving trace on NGINX; plus the pgbench / redis-benchmark
+workloads used by the longitudinal study.  A
+:class:`~repro.workloads.base.Workload` captures the characteristics the
+system simulators need to produce a realistic knob→performance response:
+working-set size, read/write mix, join complexity and how sensitive the
+workload is to query-plan choice (the root cause of unstable configurations,
+§3.2.1), parallelism friendliness, skew, and the optimisation objective.
+"""
+
+from repro.workloads.base import Objective, Workload, WorkloadKind
+from repro.workloads.oltp import EPINIONS, TPCC, YCSB_A, YCSB_C
+from repro.workloads.olap import MSSALES, TPCH
+from repro.workloads.web import WIKIPEDIA_TOP500
+
+ALL_WORKLOADS = {
+    workload.name: workload
+    for workload in (TPCC, EPINIONS, TPCH, MSSALES, YCSB_C, YCSB_A, WIKIPEDIA_TOP500)
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a predefined workload by name."""
+    if name not in ALL_WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(ALL_WORKLOADS)}")
+    return ALL_WORKLOADS[name]
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "EPINIONS",
+    "MSSALES",
+    "Objective",
+    "TPCC",
+    "TPCH",
+    "WIKIPEDIA_TOP500",
+    "Workload",
+    "WorkloadKind",
+    "YCSB_A",
+    "YCSB_C",
+    "get_workload",
+]

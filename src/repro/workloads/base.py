@@ -1,0 +1,137 @@
+"""Workload descriptor types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class WorkloadKind(str, enum.Enum):
+    """Broad workload categories used by the system simulators."""
+
+    OLTP = "oltp"
+    OLAP = "olap"
+    KEY_VALUE = "key_value"
+    WEB = "web"
+
+
+class Objective(str, enum.Enum):
+    """Optimisation objective of a workload (what the tuner optimises)."""
+
+    THROUGHPUT = "throughput"  # higher is better (tx/s, ops/s)
+    RUNTIME = "runtime"  # lower is better (seconds to complete)
+    P95_LATENCY = "p95_latency"  # lower is better (milliseconds)
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self is Objective.THROUGHPUT
+
+    @property
+    def unit(self) -> str:
+        return {
+            Objective.THROUGHPUT: "tx/s",
+            Objective.RUNTIME: "s",
+            Objective.P95_LATENCY: "ms",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Static description of a benchmark workload.
+
+    Attributes
+    ----------
+    name, kind, objective:
+        Identity, category and optimisation target.
+    baseline_performance:
+        Performance of the *default* configuration on a nominal (noise-free)
+        node, in the objective's unit.  Calibrated to the default-config bars
+        of the paper's figures.
+    optimal_performance:
+        Approximate performance of a well-tuned stable configuration on a
+        nominal node (the headroom available to the tuner).
+    working_set_mb:
+        Hot data size; interacts with buffer-pool style knobs.
+    dataset_mb:
+        Total on-disk / in-memory dataset size.
+    read_fraction:
+        Fraction of operations that only read.
+    join_complexity:
+        0-1: how much of the work involves multi-table joins (drives the
+        benefit of planner-related knobs).
+    plan_sensitivity:
+        0-1: fraction of the workload whose cost explodes when the query
+        planner picks the wrong candidate plan.  This is what makes some
+        configurations *unstable* (§3.2.1).  Zero for systems without a
+        planner (Redis, NGINX).
+    sort_hash_intensity:
+        0-1: how much the workload relies on sorts / hash tables (work_mem).
+    parallel_friendliness:
+        0-1: how well queries scale with parallel workers (OLAP high, OLTP low).
+    skew:
+        Zipfian-style access skew (0 = uniform).
+    concurrency:
+        Number of concurrent clients the benchmark drives.
+    component_demands:
+        Baseline share of time the default configuration spends bottlenecked
+        on each platform component; the system simulators shift these shares
+        as knobs change.
+    duration_hours:
+        Measurement duration (OLTP/latency workloads run for a fixed period,
+        paper: 5 minutes; OLAP workloads run to completion).
+    """
+
+    name: str
+    kind: WorkloadKind
+    objective: Objective
+    baseline_performance: float
+    optimal_performance: float
+    working_set_mb: float
+    dataset_mb: float
+    read_fraction: float
+    join_complexity: float
+    plan_sensitivity: float
+    sort_hash_intensity: float
+    parallel_friendliness: float
+    skew: float
+    concurrency: int
+    component_demands: Dict[str, float] = field(default_factory=dict)
+    duration_hours: float = 5.0 / 60.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.baseline_performance <= 0 or self.optimal_performance <= 0:
+            raise ValueError(f"{self.name}: performance figures must be positive")
+        for attr in (
+            "read_fraction",
+            "join_complexity",
+            "plan_sensitivity",
+            "sort_hash_intensity",
+            "parallel_friendliness",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr} must be in [0, 1], got {value}")
+        if self.working_set_mb <= 0 or self.dataset_mb <= 0:
+            raise ValueError(f"{self.name}: data sizes must be positive")
+        if self.working_set_mb > self.dataset_mb:
+            raise ValueError(f"{self.name}: working set cannot exceed dataset size")
+        if self.concurrency < 1:
+            raise ValueError(f"{self.name}: concurrency must be >= 1")
+        if self.skew < 0:
+            raise ValueError(f"{self.name}: skew must be non-negative")
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self.objective.higher_is_better
+
+    @property
+    def write_fraction(self) -> float:
+        return 1.0 - self.read_fraction
+
+    def improvement_headroom(self) -> float:
+        """Ratio between optimal and baseline performance (>= 1)."""
+        if self.higher_is_better:
+            return self.optimal_performance / self.baseline_performance
+        return self.baseline_performance / self.optimal_performance

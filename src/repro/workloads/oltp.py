@@ -1,0 +1,124 @@
+"""Transactional (OLTP) and key-value workload definitions.
+
+Performance baselines are calibrated to the default-configuration bars of the
+paper's evaluation figures (Fig. 11a/b for PostgreSQL, Fig. 14 for Redis).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Objective, Workload, WorkloadKind
+
+
+#: TPC-C — order-entry OLTP.  Mostly simple single-table transactions plus one
+#: JOIN whose plan choice is the unstable-configuration mechanism (§3.2.1).
+TPCC = Workload(
+    name="tpcc",
+    kind=WorkloadKind.OLTP,
+    objective=Objective.THROUGHPUT,
+    baseline_performance=850.0,
+    optimal_performance=2_100.0,
+    working_set_mb=9_000.0,
+    dataset_mb=18_000.0,
+    read_fraction=0.35,
+    join_complexity=0.15,
+    plan_sensitivity=0.35,
+    sort_hash_intensity=0.15,
+    parallel_friendliness=0.05,
+    skew=0.4,
+    concurrency=64,
+    component_demands={
+        "cpu": 0.15,
+        "disk": 0.55,
+        "memory": 0.09,
+        "os": 0.07,
+        "cache": 0.10,
+        "network": 0.04,
+    },
+    description="TPC-C order entry: write-heavy OLTP with one plan-sensitive JOIN",
+)
+
+
+#: epinions — consumer-review web/OLTP mix; simpler queries than TPC-C but the
+#: same kind of plan sensitivity at lower intensity.
+EPINIONS = Workload(
+    name="epinions",
+    kind=WorkloadKind.OLTP,
+    objective=Objective.THROUGHPUT,
+    baseline_performance=30_900.0,
+    optimal_performance=36_200.0,
+    working_set_mb=3_500.0,
+    dataset_mb=7_000.0,
+    read_fraction=0.85,
+    join_complexity=0.10,
+    plan_sensitivity=0.15,
+    sort_hash_intensity=0.10,
+    parallel_friendliness=0.05,
+    skew=0.8,
+    concurrency=128,
+    component_demands={
+        "cpu": 0.30,
+        "disk": 0.12,
+        "memory": 0.16,
+        "os": 0.14,
+        "cache": 0.22,
+        "network": 0.06,
+    },
+    description="epinions.com-style review site: read-mostly OLTP with hot rows",
+)
+
+
+#: YCSB-C — 100 % reads with Zipfian skew; the Redis workload of Fig. 14.
+YCSB_C = Workload(
+    name="ycsb-c",
+    kind=WorkloadKind.KEY_VALUE,
+    objective=Objective.P95_LATENCY,
+    baseline_performance=0.89,
+    optimal_performance=0.82,
+    working_set_mb=6_000.0,
+    dataset_mb=16_500.0,
+    read_fraction=1.0,
+    join_complexity=0.0,
+    plan_sensitivity=0.0,
+    sort_hash_intensity=0.0,
+    parallel_friendliness=0.3,
+    skew=0.99,
+    concurrency=64,
+    component_demands={
+        "cpu": 0.25,
+        "disk": 0.02,
+        "memory": 0.30,
+        "os": 0.15,
+        "cache": 0.22,
+        "network": 0.06,
+    },
+    description="YCSB workload C: read-only Zipfian key-value lookups",
+)
+
+
+#: YCSB-A — 50/50 read/update variant, used by the extra examples and tests to
+#: exercise Redis persistence knobs (not part of the paper's headline figures).
+YCSB_A = Workload(
+    name="ycsb-a",
+    kind=WorkloadKind.KEY_VALUE,
+    objective=Objective.P95_LATENCY,
+    baseline_performance=1.35,
+    optimal_performance=1.05,
+    working_set_mb=6_000.0,
+    dataset_mb=16_500.0,
+    read_fraction=0.5,
+    join_complexity=0.0,
+    plan_sensitivity=0.0,
+    sort_hash_intensity=0.0,
+    parallel_friendliness=0.3,
+    skew=0.99,
+    concurrency=64,
+    component_demands={
+        "cpu": 0.25,
+        "disk": 0.10,
+        "memory": 0.28,
+        "os": 0.15,
+        "cache": 0.18,
+        "network": 0.04,
+    },
+    description="YCSB workload A: update-heavy key-value operations",
+)

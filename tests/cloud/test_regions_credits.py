@@ -1,0 +1,154 @@
+"""Tests for region/SKU profiles and burstable credit accounting."""
+
+import pytest
+
+from repro.cloud.credits import BurstableCreditAccount
+from repro.cloud.regions import (
+    AZURE_CENTRALUS,
+    AZURE_WESTUS2,
+    CLOUDLAB_WISCONSIN,
+    COMPONENTS,
+    REGIONS,
+    SKUS,
+    ComponentNoise,
+    RegionProfile,
+    VMSku,
+    get_region,
+    get_sku,
+)
+
+
+class TestComponentNoise:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentNoise(-0.1, 0.0, 0.0, 0.0, 0.0)
+
+    def test_interference_rate_bounded(self):
+        with pytest.raises(ValueError):
+            ComponentNoise(0.0, 0.0, 1.5, 0.0, 0.0)
+
+
+class TestRegionProfiles:
+    def test_all_regions_have_all_components(self):
+        for region in REGIONS.values():
+            for component in COMPONENTS:
+                assert isinstance(region.component(component), ComponentNoise)
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            AZURE_WESTUS2.component("gpu")
+
+    def test_missing_component_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            RegionProfile(name="bad", provider="x", components={})
+
+    def test_cloudlab_has_no_interference(self):
+        for component in COMPONENTS:
+            assert CLOUDLAB_WISCONSIN.component(component).interference_rate == 0.0
+
+    def test_centralus_noisier_than_westus2(self):
+        """§6.2: centralus has fewer high-performing machines."""
+        assert AZURE_CENTRALUS.slow_host_fraction > AZURE_WESTUS2.slow_host_fraction
+        for component in ("memory", "cache", "os"):
+            assert (
+                AZURE_CENTRALUS.component(component).node_cov
+                > AZURE_WESTUS2.component(component).node_cov
+            )
+
+    def test_cache_noisier_than_cpu_on_azure(self):
+        """Fig. 4 ordering: cache >> OS >> memory >> disk/cpu."""
+        cache = AZURE_WESTUS2.component("cache")
+        os_noise = AZURE_WESTUS2.component("os")
+        memory = AZURE_WESTUS2.component("memory")
+        cpu = AZURE_WESTUS2.component("cpu")
+        assert cache.node_cov > os_noise.node_cov > memory.node_cov > cpu.node_cov
+
+    def test_get_region_lookup(self):
+        assert get_region("westus2") is AZURE_WESTUS2
+        with pytest.raises(KeyError):
+            get_region("marsnorth1")
+
+
+class TestSkus:
+    def test_known_skus(self):
+        assert "Standard_D8s_v5" in SKUS
+        assert "Standard_B8ms" in SKUS
+        assert "c220g5" in SKUS
+
+    def test_d8s_not_burstable(self):
+        assert get_sku("Standard_D8s_v5").burstable is False
+
+    def test_b8ms_burstable(self):
+        sku = get_sku("Standard_B8ms")
+        assert sku.burstable is True
+        assert sku.max_credits > 0
+
+    def test_cloudlab_bare_metal(self):
+        assert get_sku("c220g5").bare_metal is True
+
+    def test_invalid_sku_parameters(self):
+        with pytest.raises(ValueError):
+            VMSku(name="x", vcpus=0, memory_gb=1.0, disk_type="ssd")
+        with pytest.raises(ValueError):
+            VMSku(name="x", vcpus=1, memory_gb=1.0, disk_type="ssd", burstable=True)
+
+    def test_get_sku_unknown(self):
+        with pytest.raises(KeyError):
+            get_sku("Standard_Z999")
+
+
+class TestBurstableCredits:
+    def test_starts_full_by_default(self):
+        account = BurstableCreditAccount(100.0, 1000.0)
+        assert account.balance == 1000.0
+        assert not account.depleted
+
+    def test_accrual_capped_at_max(self):
+        account = BurstableCreditAccount(100.0, 1000.0, initial_fraction=0.5)
+        account.accrue(100.0)
+        assert account.balance == 1000.0
+
+    def test_consume_bursts_fully_with_credits(self):
+        account = BurstableCreditAccount(100.0, 1000.0, burn_per_hour=400.0)
+        assert account.consume(1.0) == 1.0
+        assert account.balance == pytest.approx(700.0)
+
+    def test_depletion_mid_interval(self):
+        account = BurstableCreditAccount(
+            0.0, 300.0, burn_per_hour=300.0, initial_fraction=1.0
+        )
+        fraction = account.consume(2.0)  # needs 600 credits, has 300
+        assert fraction == pytest.approx(0.5)
+        assert account.depleted
+
+    def test_low_utilisation_accrues(self):
+        account = BurstableCreditAccount(
+            200.0, 1000.0, burn_per_hour=400.0, initial_fraction=0.5
+        )
+        fraction = account.consume(1.0, utilisation=0.25)  # burn 100 < accrue 200
+        assert fraction == 1.0
+        assert account.balance > 500.0
+
+    def test_recovery_after_depletion(self):
+        account = BurstableCreditAccount(
+            100.0, 1000.0, burn_per_hour=500.0, initial_fraction=0.0
+        )
+        assert account.depleted
+        account.accrue(2.0)
+        assert account.balance == pytest.approx(200.0)
+        assert not account.depleted
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstableCreditAccount(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            BurstableCreditAccount(1.0, 0.0)
+        with pytest.raises(ValueError):
+            BurstableCreditAccount(1.0, 100.0, initial_fraction=2.0)
+        account = BurstableCreditAccount(1.0, 100.0)
+        with pytest.raises(ValueError):
+            account.consume(-1.0)
+        with pytest.raises(ValueError):
+            account.consume(1.0, utilisation=1.5)
+        with pytest.raises(ValueError):
+            account.accrue(-1.0)

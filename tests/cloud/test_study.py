@@ -1,0 +1,110 @@
+"""Tests for the longitudinal cloud study harness (small-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.study import (
+    APPLICATION_BENCHMARKS,
+    POSTGRES_PGBENCH,
+    REDIS_BENCHMARK,
+    LongitudinalStudy,
+    StudyResult,
+)
+from repro.cloud import VirtualMachine, get_region, get_sku
+
+
+@pytest.fixture(scope="module")
+def small_study_result():
+    study = LongitudinalStudy(
+        regions=("westus2", "eastus"), weeks=6, short_vms_per_week=4, seed=42
+    )
+    return study.run()
+
+
+class TestApplicationBenchmarks:
+    def test_two_standins_defined(self):
+        assert {b.name for b in APPLICATION_BENCHMARKS} == {
+            "postgres-pgbench-rw",
+            "redis-benchmark-write",
+        }
+
+    def test_pgbench_is_disk_heavy(self):
+        weights = POSTGRES_PGBENCH.component_weights
+        assert weights["disk"] == max(weights.values())
+
+    def test_redis_is_memory_heavy(self):
+        weights = REDIS_BENCHMARK.component_weights
+        assert weights["memory"] == max(weights.values())
+
+    def test_run_returns_value_near_nominal(self):
+        vm = VirtualMachine("x", get_sku("Standard_D8s_v5"), get_region("westus2"), seed=0)
+        value = POSTGRES_PGBENCH.run(vm, rng=np.random.default_rng(0))
+        assert 0.5 * POSTGRES_PGBENCH.nominal_value < value < 1.5 * POSTGRES_PGBENCH.nominal_value
+
+
+class TestLongitudinalStudy:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LongitudinalStudy(weeks=0)
+        with pytest.raises(ValueError):
+            LongitudinalStudy(short_vms_per_week=0)
+
+    def test_result_counts(self, small_study_result):
+        result = small_study_result
+        assert result.weeks == 6
+        assert result.n_vms > 0
+        assert result.n_samples > 0
+
+    def test_component_cov_ordering_matches_figure4(self, small_study_result):
+        """cache > os > memory > disk, cpu (Fig. 4)."""
+        result = small_study_result
+        cov_cpu = result.component_cov("sysbench-cpu-prime")
+        cov_disk = result.component_cov("fio-randwrite-libaio")
+        cov_mem = result.component_cov("mlc-max-bandwidth")
+        cov_os = result.component_cov("osbench-create-threads")
+        cov_cache = result.component_cov("stress-ng-cache")
+        assert cov_cpu < 0.01
+        assert cov_disk < 0.02
+        assert cov_mem > cov_disk
+        assert cov_os > cov_mem * 0.9
+        assert cov_cache > cov_mem
+        assert cov_cache > 0.05
+
+    def test_burstable_more_variable_than_nonburstable(self, small_study_result):
+        """Fig. 3: burstable VMs have a much wider relative-performance spread."""
+        result = small_study_result
+        burst = result.relative_performance("postgres-pgbench-rw", "westus2", burstable=True)
+        fixed = result.relative_performance("postgres-pgbench-rw", "westus2", burstable=False)
+        assert np.std(burst) > np.std(fixed)
+
+    def test_long_lived_trace_available(self, small_study_result):
+        trace = small_study_result.long_lived_trace("mlc-max-bandwidth", "westus2")
+        weeks = [week for week, _ in trace]
+        assert weeks == sorted(weeks)
+        assert len(trace) == 6
+
+    def test_missing_benchmark_raises(self, small_study_result):
+        with pytest.raises(KeyError):
+            small_study_result.component_cov("no-such-benchmark")
+        with pytest.raises(KeyError):
+            small_study_result.relative_performance("no-such-benchmark", "westus2")
+        with pytest.raises(KeyError):
+            small_study_result.long_lived_trace("no-such-benchmark", "westus2")
+
+    def test_summary_table_fields(self, small_study_result):
+        summary = small_study_result.summary_table()
+        assert set(summary) == {"weeks", "samples", "instances"}
+
+    def test_empty_result_raises(self):
+        result = StudyResult()
+        with pytest.raises(KeyError):
+            result.component_cov("anything")
+
+    def test_short_lived_spread_wider_than_long_lived(self, small_study_result):
+        """Fig. 6: short-lived VMs span the cross-cluster variance."""
+        result = small_study_result
+        short = np.asarray(result.short_lived["mlc-max-bandwidth"]["westus2"])
+        long_trace = np.asarray(
+            [v for _, v in result.long_lived["mlc-max-bandwidth"]["westus2"]]
+        )
+        assert short.std() >= long_trace.std() * 0.5  # generally wider; allow slack

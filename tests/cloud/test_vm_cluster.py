@@ -1,0 +1,227 @@
+"""Tests for the VM performance model, telemetry, microbenchmarks and cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AZURE_WESTUS2,
+    CLOUDLAB_WISCONSIN,
+    Cluster,
+    MICROBENCHMARKS,
+    TELEMETRY_METRICS,
+    TelemetrySample,
+    VirtualMachine,
+    get_sku,
+    microbenchmark_by_name,
+)
+from repro.cloud.microbench import run_suite
+from repro.ml.metrics import coefficient_of_variation
+
+
+def make_vm(seed=0, sku="Standard_D8s_v5", region=AZURE_WESTUS2, lifespan="long"):
+    return VirtualMachine("vm-0", get_sku(sku), region, lifespan=lifespan, seed=seed)
+
+
+class TestVirtualMachine:
+    def test_invalid_lifespan(self):
+        with pytest.raises(ValueError):
+            make_vm(lifespan="medium")
+
+    def test_node_factors_positive_and_near_one(self):
+        vm = make_vm(seed=1)
+        for component in ("cpu", "disk", "memory", "os", "cache", "network"):
+            factor = vm.node_factor(component)
+            assert 0.5 <= factor <= 1.5
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            make_vm().node_factor("gpu")
+
+    def test_measure_returns_all_components(self):
+        vm = make_vm(seed=2)
+        context = vm.measure(0.1)
+        for component in ("cpu", "disk", "memory", "os", "cache", "network"):
+            assert context.multiplier(component) > 0.0
+
+    def test_measure_advances_clock(self):
+        vm = make_vm(seed=3)
+        vm.measure(0.5)
+        assert vm.clock_hours == pytest.approx(0.5)
+
+    def test_advance_negative_raises(self):
+        with pytest.raises(ValueError):
+            make_vm().advance(-1.0)
+
+    def test_cpu_much_more_stable_than_cache(self):
+        """Fig. 4: cache CoV is ~two orders of magnitude above CPU CoV."""
+        rng = np.random.default_rng(0)
+        cpu_samples, cache_samples = [], []
+        for i in range(300):
+            vm = VirtualMachine(f"vm-{i}", get_sku("Standard_D8s_v5"), AZURE_WESTUS2, seed=i)
+            context = vm.measure(0.05, rng=rng)
+            cpu_samples.append(context.multiplier("cpu"))
+            cache_samples.append(context.multiplier("cache"))
+        assert coefficient_of_variation(cpu_samples) < 0.01
+        assert coefficient_of_variation(cache_samples) > 0.05
+
+    def test_bare_metal_less_noisy_than_cloud(self):
+        rng = np.random.default_rng(1)
+        cloud, metal = [], []
+        for i in range(200):
+            vm_c = VirtualMachine(f"c{i}", get_sku("Standard_D8s_v5"), AZURE_WESTUS2, seed=i)
+            vm_m = VirtualMachine(f"m{i}", get_sku("c220g5"), CLOUDLAB_WISCONSIN, seed=i)
+            cloud.append(vm_c.measure(0.05, rng=rng).multiplier("cache"))
+            metal.append(vm_m.measure(0.05, rng=rng).multiplier("cache"))
+        assert coefficient_of_variation(metal) < coefficient_of_variation(cloud)
+
+    def test_deterministic_given_seed(self):
+        a = make_vm(seed=10).measure(0.1)
+        b = make_vm(seed=10).measure(0.1)
+        assert a.multipliers == b.multipliers
+
+    def test_burstable_vm_degrades_when_credits_exhausted(self):
+        vm = make_vm(seed=4, sku="Standard_B8ms")
+        assert vm.credits is not None
+        # Deplete the credits with a long, busy period.
+        vm.measure(48.0, utilisation=1.0)
+        assert vm.credits.depleted
+        context = vm.measure(0.25, utilisation=1.0)
+        # CPU and disk collapse towards the depleted baseline.
+        assert context.multiplier("cpu") < 0.7
+        assert context.burst_fraction < 0.1
+
+    def test_non_burstable_has_no_credit_account(self):
+        assert make_vm().credits is None
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_vm().measure(-0.1)
+
+
+class TestTelemetry:
+    def test_vector_order_and_length(self):
+        vm = make_vm(seed=5)
+        context = vm.measure(0.1)
+        sample = TelemetrySample.collect(context, usage={"cpu": 0.5}, rng=np.random.default_rng(0))
+        vector = sample.as_vector()
+        assert vector.shape == (len(TELEMETRY_METRICS),)
+        assert np.all(np.isfinite(vector))
+
+    def test_all_metrics_nonnegative(self):
+        vm = make_vm(seed=6)
+        context = vm.measure(0.1)
+        sample = TelemetrySample.collect(
+            context,
+            usage={"cpu": 0.9, "disk": 0.8, "memory": 0.9, "os": 0.7, "cache": 0.9},
+            rng=np.random.default_rng(1),
+        )
+        assert all(value >= 0.0 for value in sample.metrics.values())
+
+    def test_steal_time_reflects_cpu_interference(self):
+        vm = make_vm(seed=7)
+        context = vm.measure(0.1)
+        context.interference["cpu"] = 0.3
+        high = TelemetrySample.collect(context, {"cpu": 0.5}, np.random.default_rng(2), jitter=0.0)
+        context.interference["cpu"] = 0.0
+        low = TelemetrySample.collect(context, {"cpu": 0.5}, np.random.default_rng(2), jitter=0.0)
+        assert high["cpu_steal"] > low["cpu_steal"]
+
+    def test_cache_miss_reflects_cache_interference(self):
+        vm = make_vm(seed=8)
+        context = vm.measure(0.1)
+        context.interference["cache"] = 0.4
+        high = TelemetrySample.collect(context, {"cache": 0.6}, np.random.default_rng(3), jitter=0.0)
+        context.interference["cache"] = 0.0
+        low = TelemetrySample.collect(context, {"cache": 0.6}, np.random.default_rng(3), jitter=0.0)
+        assert high["cache_miss_ratio"] > low["cache_miss_ratio"]
+
+    def test_getitem(self):
+        vm = make_vm(seed=9)
+        sample = TelemetrySample.collect(vm.measure(0.1), {}, np.random.default_rng(0))
+        assert sample["cpu_percent"] == sample.metrics["cpu_percent"]
+
+    def test_metric_names_helper(self):
+        assert TelemetrySample.metric_names() == TELEMETRY_METRICS
+
+
+class TestMicrobenchmarks:
+    def test_five_component_benchmarks_defined(self):
+        components = {bench.component for bench in MICROBENCHMARKS}
+        assert components == {"cpu", "disk", "memory", "os", "cache"}
+
+    def test_lookup_by_name(self):
+        bench = microbenchmark_by_name("mlc-max-bandwidth")
+        assert bench.component == "memory"
+        with pytest.raises(KeyError):
+            microbenchmark_by_name("does-not-exist")
+
+    def test_run_returns_positive_value_near_nominal(self):
+        vm = make_vm(seed=11)
+        bench = microbenchmark_by_name("sysbench-cpu-prime")
+        value = bench.run(vm, rng=np.random.default_rng(0))
+        assert 0.8 * bench.nominal_value < value < 1.2 * bench.nominal_value
+
+    def test_run_suite_covers_all(self):
+        vm = make_vm(seed=12)
+        results = run_suite(vm, rng=np.random.default_rng(0))
+        assert set(results) == {bench.name for bench in MICROBENCHMARKS}
+        assert all(value > 0 for value in results.values())
+
+
+class TestCluster:
+    def test_default_cluster_size(self):
+        cluster = Cluster(n_workers=10, seed=0)
+        assert cluster.n_workers == 10
+        assert len(cluster.worker_ids) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Cluster(n_workers=0)
+
+    def test_lookup_by_id(self):
+        cluster = Cluster(n_workers=3, seed=0)
+        assert cluster.worker("worker-1").vm_id == "worker-1"
+        with pytest.raises(KeyError):
+            cluster.worker("worker-99")
+
+    def test_workers_differ_across_nodes(self):
+        cluster = Cluster(n_workers=10, seed=1)
+        factors = {vm.node_factor("cache") for vm in cluster.workers}
+        assert len(factors) > 1
+
+    def test_same_seed_same_cluster(self):
+        c1 = Cluster(n_workers=5, seed=7)
+        c2 = Cluster(n_workers=5, seed=7)
+        for a, b in zip(c1.workers, c2.workers):
+            assert a.node_factor("memory") == b.node_factor("memory")
+
+    def test_fresh_nodes_are_new(self):
+        cluster = Cluster(n_workers=4, seed=2)
+        fresh = cluster.provision_fresh_nodes(6)
+        assert len(fresh) == 6
+        assert {vm.vm_id for vm in fresh}.isdisjoint(set(cluster.worker_ids))
+        more = cluster.provision_fresh_nodes(2)
+        assert {vm.vm_id for vm in more}.isdisjoint({vm.vm_id for vm in fresh})
+
+    def test_fresh_nodes_invalid_count(self):
+        with pytest.raises(ValueError):
+            Cluster(n_workers=2, seed=0).provision_fresh_nodes(0)
+
+    def test_advance_moves_all_clocks(self):
+        cluster = Cluster(n_workers=3, seed=3)
+        cluster.advance(5.0)
+        assert cluster.clock_hours == 5.0
+        assert all(vm.clock_hours == 5.0 for vm in cluster.workers)
+        with pytest.raises(ValueError):
+            cluster.advance(-1.0)
+
+    def test_region_and_sku_by_name(self):
+        cluster = Cluster(n_workers=2, region="centralus", sku="c220g5", seed=0)
+        assert cluster.region.name == "centralus"
+        assert cluster.sku.name == "c220g5"
+
+    def test_node_factor_summary_structure(self):
+        summary = Cluster(n_workers=5, seed=4).node_factor_summary()
+        assert set(summary) == {"cpu", "disk", "memory", "os", "cache", "network"}
+        for stats in summary.values():
+            assert stats["min"] <= stats["mean"] <= stats["max"]

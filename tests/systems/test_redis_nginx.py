@@ -1,0 +1,219 @@
+"""Tests for the Redis and NGINX simulators."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import AZURE_WESTUS2, VirtualMachine, get_sku
+from repro.systems import NginxSystem, RedisSystem, get_system
+from repro.systems.base import crash_penalty_value
+from repro.workloads import TPCC, WIKIPEDIA_TOP500, YCSB_A, YCSB_C
+
+
+def make_vm(i=0):
+    return VirtualMachine(f"worker-{i}", get_sku("Standard_D8s_v5"), AZURE_WESTUS2, seed=200 + i)
+
+
+@pytest.fixture(scope="module")
+def redis():
+    return RedisSystem()
+
+
+@pytest.fixture(scope="module")
+def nginx():
+    return NginxSystem()
+
+
+class TestSystemRegistry:
+    def test_get_system(self):
+        assert get_system("redis").name == "redis"
+        assert get_system("nginx").name == "nginx"
+        assert get_system("postgres").name == "postgres"
+        with pytest.raises(KeyError):
+            get_system("mysql")
+
+
+class TestRedis:
+    def test_knob_space_contents(self, redis):
+        for knob in ("maxmemory_mb", "maxmemory_policy", "appendonly", "io_threads"):
+            assert knob in redis.knob_space
+
+    def test_supports_only_kv(self, redis):
+        assert redis.supports(YCSB_C)
+        assert not redis.supports(TPCC)
+        with pytest.raises(ValueError):
+            redis.run(redis.default_configuration(), TPCC, make_vm())
+
+    def test_default_latency_near_baseline(self, redis):
+        rng = np.random.default_rng(0)
+        values = []
+        for i in range(20):
+            result = redis.run(redis.default_configuration(), YCSB_C, make_vm(i), rng)
+            if not result.crashed:
+                values.append(result.objective_value)
+        assert np.mean(values) == pytest.approx(YCSB_C.baseline_performance, rel=0.2)
+
+    def test_default_occasionally_crashes(self, redis):
+        """Fig. 14: even the default config crashed 8% of the time."""
+        rng = np.random.default_rng(1)
+        crashes = sum(
+            redis.run(redis.default_configuration(), YCSB_C, make_vm(i), rng).crashed
+            for i in range(60)
+        )
+        assert 1 <= crashes <= 20
+
+    def test_aggressive_persistence_crashes_more(self, redis):
+        rng = np.random.default_rng(2)
+        aggressive = redis.knob_space.partial_configuration(
+            appendonly=True, save_snapshot="aggressive", hash_max_listpack_entries=32
+        )
+        crashes_aggressive = sum(
+            redis.run(aggressive, YCSB_A, make_vm(i), rng).crashed for i in range(30)
+        )
+        safe = redis.knob_space.partial_configuration(
+            maxmemory_mb=9_000, maxmemory_policy="allkeys-lru", save_snapshot="disabled"
+        )
+        crashes_safe = sum(
+            redis.run(safe, YCSB_A, make_vm(i), rng).crashed for i in range(30)
+        )
+        assert crashes_aggressive > crashes_safe
+        assert crashes_safe == 0
+
+    def test_capped_memory_with_eviction_never_crashes(self, redis):
+        rng = np.random.default_rng(3)
+        capped = redis.knob_space.partial_configuration(
+            maxmemory_mb=8_000,
+            maxmemory_policy="allkeys-lfu",
+            save_snapshot="disabled",
+            io_threads=8,
+        )
+        results = [redis.run(capped, YCSB_C, make_vm(i), rng) for i in range(30)]
+        assert not any(r.crashed for r in results)
+
+    def test_tiny_maxmemory_hurts_latency(self, redis):
+        rng = np.random.default_rng(4)
+        tiny = redis.knob_space.partial_configuration(
+            maxmemory_mb=1_024, maxmemory_policy="allkeys-random", save_snapshot="disabled"
+        )
+        roomy = redis.knob_space.partial_configuration(
+            maxmemory_mb=9_000, maxmemory_policy="allkeys-lfu", save_snapshot="disabled"
+        )
+        tiny_lat = np.mean(
+            [redis.run(tiny, YCSB_C, make_vm(i), rng).objective_value for i in range(5)]
+        )
+        roomy_lat = np.mean(
+            [redis.run(roomy, YCSB_C, make_vm(i), rng).objective_value for i in range(5)]
+        )
+        assert tiny_lat > roomy_lat
+
+    def test_always_fsync_hurts_write_latency(self, redis):
+        rng = np.random.default_rng(5)
+        always = redis.knob_space.partial_configuration(
+            maxmemory_mb=9_000, maxmemory_policy="allkeys-lru",
+            appendonly=True, appendfsync="always", save_snapshot="disabled"
+        )
+        everysec = always.with_updates(appendfsync="everysec")
+        lat_always = redis.run(always, YCSB_A, make_vm(0), rng).objective_value
+        lat_everysec = redis.run(everysec, YCSB_A, make_vm(0), rng).objective_value
+        assert lat_always > lat_everysec
+
+    def test_crashed_result_has_nan_objective(self, redis):
+        rng = np.random.default_rng(6)
+        bomb = redis.knob_space.partial_configuration(
+            appendonly=True, save_snapshot="aggressive", hash_max_listpack_entries=32
+        )
+        crashed = None
+        for i in range(40):
+            result = redis.run(bomb, YCSB_A, make_vm(i), rng)
+            if result.crashed:
+                crashed = result
+                break
+        assert crashed is not None
+        assert np.isnan(crashed.objective_value)
+        assert crashed.telemetry is None
+
+
+class TestNginx:
+    def test_knob_space_contents(self, nginx):
+        for knob in ("worker_processes", "worker_connections", "gzip", "sendfile"):
+            assert knob in nginx.knob_space
+
+    def test_supports_only_web(self, nginx):
+        assert nginx.supports(WIKIPEDIA_TOP500)
+        assert not nginx.supports(YCSB_C)
+
+    def test_default_latency_near_baseline(self, nginx):
+        rng = np.random.default_rng(0)
+        values = [
+            nginx.run(nginx.default_configuration(), WIKIPEDIA_TOP500, make_vm(i), rng).objective_value
+            for i in range(6)
+        ]
+        assert np.mean(values) == pytest.approx(
+            WIKIPEDIA_TOP500.baseline_performance, rel=0.2
+        )
+
+    def test_tuned_config_improves_latency(self, nginx):
+        rng = np.random.default_rng(1)
+        tuned = nginx.knob_space.partial_configuration(
+            worker_processes=8,
+            worker_connections=8_192,
+            sendfile=True,
+            tcp_nopush=True,
+            gzip=True,
+            gzip_comp_level=4,
+            open_file_cache_entries=20_000,
+            access_log=False,
+            keepalive_timeout_s=120,
+            keepalive_requests=5_000,
+        )
+        default_lat = np.mean(
+            [
+                nginx.run(nginx.default_configuration(), WIKIPEDIA_TOP500, make_vm(i), rng).objective_value
+                for i in range(5)
+            ]
+        )
+        tuned_lat = np.mean(
+            [
+                nginx.run(tuned, WIKIPEDIA_TOP500, make_vm(i), rng).objective_value
+                for i in range(5)
+            ]
+        )
+        assert tuned_lat < 0.8 * default_lat
+
+    def test_more_workers_reduce_queueing(self, nginx):
+        rng = np.random.default_rng(2)
+        one = nginx.knob_space.partial_configuration(worker_processes=1)
+        eight = nginx.knob_space.partial_configuration(worker_processes=8)
+        lat_one = nginx.run(one, WIKIPEDIA_TOP500, make_vm(0), rng).details["queueing"]
+        lat_eight = nginx.run(eight, WIKIPEDIA_TOP500, make_vm(0), rng).details["queueing"]
+        assert lat_eight < lat_one
+
+    def test_oversubscribed_workers_penalised(self, nginx):
+        rng = np.random.default_rng(3)
+        eight = nginx.knob_space.partial_configuration(worker_processes=8)
+        sixteen = nginx.knob_space.partial_configuration(worker_processes=16)
+        q8 = nginx.run(eight, WIKIPEDIA_TOP500, make_vm(0), rng).details["queueing"]
+        q16 = nginx.run(sixteen, WIKIPEDIA_TOP500, make_vm(0), rng).details["queueing"]
+        assert q16 > q8
+
+    def test_gzip_trades_cpu_for_network(self, nginx):
+        gzip_on = nginx.knob_space.partial_configuration(gzip=True, gzip_comp_level=6)
+        gzip_off = nginx.knob_space.partial_configuration(gzip=False)
+        costs_on = nginx._request_cost(gzip_on, WIKIPEDIA_TOP500)
+        costs_off = nginx._request_cost(gzip_off, WIKIPEDIA_TOP500)
+        assert costs_on["cpu"] > costs_off["cpu"]
+        assert costs_on["network"] < costs_off["network"]
+
+    def test_never_crashes(self, nginx):
+        rng = np.random.default_rng(4)
+        for i in range(10):
+            config = nginx.knob_space.sample(np.random.default_rng(i))
+            assert not nginx.run(config, WIKIPEDIA_TOP500, make_vm(i), rng).crashed
+
+
+class TestCrashPenalty:
+    def test_latency_penalty_uses_worst_observed(self):
+        assert crash_penalty_value(YCSB_C, 0.908) == pytest.approx(0.908)
+
+    def test_throughput_penalty_positive(self):
+        assert crash_penalty_value(TPCC, 120.0) == pytest.approx(120.0)
+        assert crash_penalty_value(TPCC, -5.0) > 0.0

@@ -1,0 +1,166 @@
+"""Tests for workload descriptors."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    EPINIONS,
+    MSSALES,
+    TPCC,
+    TPCH,
+    WIKIPEDIA_TOP500,
+    YCSB_A,
+    YCSB_C,
+    Objective,
+    Workload,
+    WorkloadKind,
+    get_workload,
+)
+
+
+class TestObjective:
+    def test_throughput_higher_is_better(self):
+        assert Objective.THROUGHPUT.higher_is_better is True
+
+    def test_runtime_lower_is_better(self):
+        assert Objective.RUNTIME.higher_is_better is False
+
+    def test_latency_lower_is_better(self):
+        assert Objective.P95_LATENCY.higher_is_better is False
+
+    def test_units(self):
+        assert Objective.THROUGHPUT.unit == "tx/s"
+        assert Objective.RUNTIME.unit == "s"
+        assert Objective.P95_LATENCY.unit == "ms"
+
+
+class TestRegistry:
+    def test_all_seven_workloads_registered(self):
+        assert set(ALL_WORKLOADS) == {
+            "tpcc",
+            "epinions",
+            "tpch",
+            "mssales",
+            "ycsb-c",
+            "ycsb-a",
+            "wikipedia-top500",
+        }
+
+    def test_get_workload(self):
+        assert get_workload("tpcc") is TPCC
+        with pytest.raises(KeyError):
+            get_workload("tpc-z")
+
+
+class TestPaperCharacteristics:
+    """Workload attributes that encode facts stated in the paper."""
+
+    def test_objectives_match_paper(self):
+        assert TPCC.objective is Objective.THROUGHPUT
+        assert EPINIONS.objective is Objective.THROUGHPUT
+        assert TPCH.objective is Objective.RUNTIME
+        assert MSSALES.objective is Objective.RUNTIME
+        assert YCSB_C.objective is Objective.P95_LATENCY
+        assert WIKIPEDIA_TOP500.objective is Objective.P95_LATENCY
+
+    def test_kinds(self):
+        assert TPCC.kind is WorkloadKind.OLTP
+        assert TPCH.kind is WorkloadKind.OLAP
+        assert YCSB_C.kind is WorkloadKind.KEY_VALUE
+        assert WIKIPEDIA_TOP500.kind is WorkloadKind.WEB
+
+    def test_tpcc_is_plan_sensitive(self):
+        """§3.2.1: TPC-C's JOIN query is the unstable-config mechanism."""
+        assert TPCC.plan_sensitivity > 0.2
+
+    def test_epinions_less_plan_sensitive_than_tpcc(self):
+        """§6.1: epinions queries are simpler than TPC-C's."""
+        assert 0.0 < EPINIONS.plan_sensitivity < TPCC.plan_sensitivity
+
+    def test_olap_workloads_not_plan_unstable(self):
+        """§6.1: no unstable configurations were optimal for TPC-H/mssales."""
+        assert TPCH.plan_sensitivity == 0.0
+        assert MSSALES.plan_sensitivity <= 0.02
+
+    def test_ycsb_c_read_only(self):
+        assert YCSB_C.read_fraction == 1.0
+        assert YCSB_A.read_fraction == 0.5
+
+    def test_mssales_has_largest_headroom(self):
+        """Fig. 11d: mssales shows the biggest tuning gains (≈2.4-2.6x)."""
+        headrooms = {w.name: w.improvement_headroom() for w in ALL_WORKLOADS.values()}
+        assert headrooms["mssales"] == max(headrooms.values())
+        assert headrooms["mssales"] > 2.0
+
+    def test_epinions_small_headroom(self):
+        assert EPINIONS.improvement_headroom() < 1.3
+
+    def test_olap_parallel_friendly(self):
+        assert TPCH.parallel_friendliness > 0.5
+        assert MSSALES.parallel_friendliness > 0.5
+        assert TPCC.parallel_friendliness < 0.2
+
+    def test_component_demands_sum_to_one(self):
+        for workload in ALL_WORKLOADS.values():
+            assert sum(workload.component_demands.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_write_fraction_complements_read(self):
+        for workload in ALL_WORKLOADS.values():
+            assert workload.write_fraction == pytest.approx(1.0 - workload.read_fraction)
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="test",
+            kind=WorkloadKind.OLTP,
+            objective=Objective.THROUGHPUT,
+            baseline_performance=100.0,
+            optimal_performance=200.0,
+            working_set_mb=100.0,
+            dataset_mb=200.0,
+            read_fraction=0.5,
+            join_complexity=0.5,
+            plan_sensitivity=0.1,
+            sort_hash_intensity=0.1,
+            parallel_friendliness=0.1,
+            skew=0.5,
+            concurrency=8,
+        )
+
+    def test_valid_construction(self):
+        Workload(**self._base_kwargs())
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("baseline_performance", 0.0),
+            ("optimal_performance", -1.0),
+            ("read_fraction", 1.5),
+            ("join_complexity", -0.1),
+            ("plan_sensitivity", 2.0),
+            ("working_set_mb", 0.0),
+            ("concurrency", 0),
+            ("skew", -1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        kwargs = self._base_kwargs()
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            Workload(**kwargs)
+
+    def test_working_set_cannot_exceed_dataset(self):
+        kwargs = self._base_kwargs()
+        kwargs["working_set_mb"] = 500.0
+        with pytest.raises(ValueError):
+            Workload(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TPCC.baseline_performance = 1.0
+
+    def test_improvement_headroom_for_runtime(self):
+        assert TPCH.improvement_headroom() == pytest.approx(114.5 / 68.0)
