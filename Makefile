@@ -1,0 +1,20 @@
+# Convenience entry points for the tier-1 gate and benchmarks.
+#
+#   make test             tier-1 gate (full test + benchmark suite, -x -q)
+#   make test-fast        unit tests only (skips the figure benchmarks)
+#   make bench-surrogate  surrogate-inference throughput microbenchmark
+#   make bench            all figure benchmarks
+
+.PHONY: test test-fast bench bench-surrogate
+
+test:
+	./tools/run_tier1.sh
+
+test-fast:
+	PYTHONPATH=src python -m pytest tests -x -q
+
+bench-surrogate:
+	./tools/run_surrogate_bench.sh
+
+bench:
+	PYTHONPATH=src python -m pytest benchmarks -q

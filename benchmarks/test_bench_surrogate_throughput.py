@@ -1,0 +1,101 @@
+"""Microbenchmark — vectorized flat-array surrogate inference throughput.
+
+Unlike the figure benchmarks, this file guards a *performance property* of
+the reproduction rather than a result of the paper: batched forest
+prediction over the flat structure-of-arrays layout must stay an order of
+magnitude faster than the seed's per-row, per-tree pointer walk (kept as
+``predict_mean_std_pointer``).  The shape mirrors the SMAC surrogate in a
+tuning run: 24 trees over unit-cube-encoded configurations, scored over a
+candidate pool of hundreds to thousands of rows per ``ask()``.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_surrogate_throughput.py -q -s
+"""
+
+import time
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+
+N_TREES = 24
+N_TRAIN = 160
+N_FEATURES = 12
+BATCH_SIZES = (100, 1000, 10000)
+SPEEDUP_TARGET = 10.0
+
+
+def _make_surrogate(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((N_TRAIN, N_FEATURES))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 3] ** 2 + rng.normal(0.0, 0.3, N_TRAIN)
+    forest = RandomForestRegressor(
+        n_estimators=N_TREES,
+        min_samples_leaf=1,
+        min_samples_split=3,
+        max_features=5.0 / 6.0,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    forest.fit(X, y)
+    fit_seconds = time.perf_counter() - t0
+    return forest, fit_seconds
+
+
+def _best_of(fn, repeats):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_surrogate_throughput(once):
+    def run():
+        forest, fit_seconds = _make_surrogate(seed=0)
+        rng = np.random.default_rng(1)
+        rows = []
+        for n in BATCH_SIZES:
+            Xq = rng.random((n, N_FEATURES))
+            flat = _best_of(lambda: forest.predict_mean_std(Xq), repeats=7)
+            rows.append((n, flat, n / flat))
+        # The ≥10x acceptance comparison runs at n=1000, the typical SMAC
+        # candidate-pool size (n_candidates=400 plus local neighbours,
+        # rounded up).
+        Xq = rng.random((1000, N_FEATURES))
+        flat = _best_of(lambda: forest.predict_mean_std(Xq), repeats=9)
+        pointer = _best_of(lambda: forest.predict_mean_std_pointer(Xq), repeats=3)
+        return {
+            "fit_seconds": fit_seconds,
+            "rows": rows,
+            "flat_1000": flat,
+            "pointer_1000": pointer,
+            "speedup": pointer / flat,
+        }
+
+    result = once(run)
+
+    print("\nSurrogate inference throughput (24-tree forest, d=%d)" % N_FEATURES)
+    print(f"  forest fit: {result['fit_seconds'] * 1e3:8.1f} ms")
+    for n, seconds, throughput in result["rows"]:
+        print(f"  batch predict n={n:>6}: {seconds * 1e3:8.2f} ms  ({throughput:,.0f} rows/s)")
+    print(
+        f"  n=1000 pointer walk: {result['pointer_1000'] * 1e3:8.2f} ms  "
+        f"flat: {result['flat_1000'] * 1e3:8.2f} ms  "
+        f"speedup: {result['speedup']:.1f}x"
+    )
+
+    assert result["speedup"] >= SPEEDUP_TARGET, (
+        f"flat-array batch predict is only {result['speedup']:.1f}x faster than "
+        f"the pointer walk (target {SPEEDUP_TARGET}x)"
+    )
+    # Per-call overhead must amortise with batch size: a gross fixed-cost
+    # regression would tank rows/s at n=1000 relative to n=100.  The margin
+    # is deliberately loose — wall-clock ratios across batch sizes swing
+    # under CPU load.  (n=10000 is printed for context but not asserted on:
+    # its working set spills out of cache, so its rows/s legitimately dips
+    # below the small batches.)
+    throughputs = {n: tp for n, _, tp in result["rows"]}
+    assert throughputs[1000] > 0.5 * throughputs[100]

@@ -36,6 +36,24 @@ class Configuration(Mapping):
             (name, self._normalise(self._values[name])) for name in space.names
         )
 
+    @classmethod
+    def _from_validated(cls, space, values: Dict) -> "Configuration":
+        """Build a configuration from values known to be complete and legal.
+
+        Used by the columnar batch paths of :class:`ConfigurationSpace`,
+        where values come straight out of a parameter's own
+        ``decode_array`` / ``sample_array`` / ``neighbour_array`` and
+        re-validating each one per configuration would dominate the batch
+        cost.
+        """
+        config = object.__new__(cls)
+        config._space = space
+        config._values = dict(values)
+        config._key = tuple(
+            (name, cls._normalise(config._values[name])) for name in space.names
+        )
+        return config
+
     @staticmethod
     def _normalise(value):
         if isinstance(value, (np.integer,)):

@@ -75,25 +75,44 @@ class ConfigurationSpace:
         return Configuration(self, {p.name: p.sample(rng) for p in self.parameters})
 
     def sample_batch(self, n: int, rng: Optional[np.random.Generator] = None) -> List[Configuration]:
+        """Draw ``n`` random configurations, one columnar draw per knob."""
         if n < 0:
             raise ValueError("n must be non-negative")
-        return [self.sample(rng) for _ in range(n)]
+        if n == 0:
+            return []
+        rng = rng if rng is not None else self._rng
+        columns = [p.sample_array(n, rng) for p in self.parameters]
+        names = self.names
+        return [
+            Configuration._from_validated(self, dict(zip(names, row)))
+            for row in zip(*columns)
+        ]
 
     # -- encoding ------------------------------------------------------
     def encode(self, config: Configuration) -> np.ndarray:
         """Encode a configuration into a vector in the unit hypercube."""
-        if config.space is not self:
-            # Allow structurally identical spaces (e.g. rebuilt knob spaces).
-            if config.space.names != self.names:
-                raise ValueError("configuration does not belong to this space")
+        self._check_space(config)
         return np.array(
             [self[name].encode(config[name]) for name in self.names], dtype=float
         )
 
+    def _check_space(self, config: Configuration) -> None:
+        if config.space is not self:
+            # Allow structurally identical spaces (e.g. rebuilt knob spaces).
+            if config.space.names != self.names:
+                raise ValueError("configuration does not belong to this space")
+
     def encode_batch(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Unit-cube encoding of a batch, one columnar op per knob."""
         if not configs:
             return np.zeros((0, self.dimension), dtype=float)
-        return np.stack([self.encode(c) for c in configs], axis=0)
+        for config in configs:
+            self._check_space(config)
+        out = np.empty((len(configs), self.dimension), dtype=float)
+        for column, name in enumerate(self.names):
+            values = [config[name] for config in configs]
+            out[:, column] = self[name].encode_array(values)
+        return out
 
     def decode(self, unit_vector) -> Configuration:
         """Decode a unit-cube vector back into a configuration."""
@@ -134,6 +153,30 @@ class ConfigurationSpace:
         rng: Optional[np.random.Generator] = None,
         scale: float = 0.2,
     ) -> List[Configuration]:
-        """A list of ``n`` single-knob perturbations of ``config``."""
+        """A list of ``n`` single-knob perturbations of ``config``.
+
+        The perturbed knob is drawn per neighbour, then all neighbours that
+        share a knob are perturbed with one columnar ``neighbour_array``
+        call on that knob's parameter.
+        """
         rng = rng if rng is not None else self._rng
-        return [self.neighbour(config, rng=rng, scale=scale) for _ in range(n)]
+        if n <= 0:
+            return []
+        base = config.as_dict()
+        # The neighbours are built without per-configuration re-validation,
+        # so the base values must be legal *in this space* (the config may
+        # come from a structurally identical space with different bounds).
+        for name in self.names:
+            self[name].validate(base[name])
+        chosen = rng.integers(0, self.dimension, size=n)
+        rows: List[Dict] = [dict(base) for _ in range(n)]
+        for index, name in enumerate(self.names):
+            slots = np.flatnonzero(chosen == index)
+            if slots.size == 0:
+                continue
+            perturbed = self[name].neighbour_array(
+                base[name], slots.size, rng, scale=scale
+            )
+            for slot, value in zip(slots.tolist(), perturbed):
+                rows[slot][name] = value
+        return [Configuration._from_validated(self, values) for values in rows]

@@ -8,6 +8,19 @@ The forest serves two roles in the reproduction, mirroring the paper:
 * the noise-adjuster model of §4.3 (Algorithm 1), chosen there because it
   generalises well, performs implicit feature selection and can be trained on
   very little data.
+
+Inference layout
+----------------
+After fitting, the per-tree flat arrays (see :mod:`repro.ml.tree`) are stacked
+into one forest-level structure of arrays: every tree's nodes are concatenated
+with its child indices shifted by the tree's node offset, and ``roots[t]``
+records where tree ``t`` starts.  ``predict`` / ``predict_mean_std`` then
+descend *all (row, tree) pairs* simultaneously with NumPy fancy indexing — the
+Python-level loop runs at most ``max tree depth`` times, independent of both
+the number of rows and the number of trees.  The law-of-total-variance
+decomposition (variance of tree means + mean of within-leaf variances) is
+unchanged from the per-tree implementation, which survives as
+``predict_mean_std_pointer`` for equivalence testing and benchmarking.
 """
 
 from __future__ import annotations
@@ -17,6 +30,80 @@ from typing import Optional
 import numpy as np
 
 from repro.ml.tree import DecisionTreeRegressor
+
+
+class _FlatForest:
+    """All trees' flat arrays concatenated, child indices offset per tree.
+
+    The concatenated ``child`` table stores left children at even and right
+    children at odd positions, and makes every leaf its own child (a
+    self-loop).  A leaf's threshold is ``nan``, so the routing comparison
+    ``x > threshold`` is always False on leaves and slots that have reached a
+    leaf simply stay put — which lets the descent loop skip the
+    "who finished?" bookkeeping on most levels and compact the active set only
+    every few iterations.
+    """
+
+    _COMPACT_EVERY = 4
+
+    def __init__(self, trees) -> None:
+        flats = [tree.flat for tree in trees]
+        sizes = np.array([flat.n_nodes for flat in flats], dtype=np.intp)
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self.roots = offsets.astype(np.intp)
+        # Leaves keep left/right == -1 (offsets must not touch the sentinel).
+        self.left = np.concatenate(
+            [np.where(f.left >= 0, f.left + off, -1) for f, off in zip(flats, offsets)]
+        )
+        self.right = np.concatenate(
+            [np.where(f.right >= 0, f.right + off, -1) for f, off in zip(flats, offsets)]
+        )
+        self.feature = np.concatenate([f.feature for f in flats])
+        self.threshold = np.concatenate([f.threshold for f in flats])
+        self.value = np.concatenate([f.value for f in flats])
+        self.variance = np.concatenate([f.variance for f in flats])
+        self.n_samples = np.concatenate([f.n_samples for f in flats])
+        ids = np.arange(self.left.shape[0], dtype=np.intp)
+        is_leaf = self.left < 0
+        self._child = np.empty(2 * self.left.shape[0], dtype=np.intp)
+        self._child[0::2] = np.where(is_leaf, ids, self.left)
+        self._child[1::2] = np.where(is_leaf, ids, self.right)
+
+    def leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """(n_rows, n_trees) leaf node index for every row under every tree."""
+        n_rows = X.shape[0]
+        n_trees = self.roots.shape[0]
+        n_features = X.shape[1]
+        flat_X = X.ravel()
+        # One flattened slot per (row, tree) pair; ``rowbase`` is the offset
+        # of each slot's row inside ``flat_X``.
+        nodes = np.broadcast_to(self.roots, (n_rows, n_trees)).ravel().copy()
+        rowbase = np.repeat(np.arange(n_rows, dtype=np.intp) * n_features, n_trees)
+        idx = nodes  # resolved leaf per slot; aliases ``nodes`` until compacted
+        slots = None  # indices of still-active slots inside ``idx``
+        level = 0
+        while True:
+            go_right = flat_X[rowbase + self.feature[nodes]] > self.threshold[nodes]
+            nodes = self._child[2 * nodes + go_right]
+            level += 1
+            if level % self._COMPACT_EVERY:
+                continue
+            alive = self.left[nodes] >= 0
+            n_alive = np.count_nonzero(alive)
+            if n_alive == 0:
+                if slots is None:
+                    return nodes.reshape(n_rows, n_trees)
+                idx[slots] = nodes
+                return idx.reshape(n_rows, n_trees)
+            if n_alive < nodes.size:
+                if slots is None:
+                    idx = nodes.copy()
+                    slots = np.flatnonzero(alive)
+                else:
+                    idx[slots] = nodes
+                    slots = slots[alive]
+                nodes = nodes[alive]
+                rowbase = rowbase[alive]
 
 
 class RandomForestRegressor:
@@ -58,6 +145,7 @@ class RandomForestRegressor:
         self.bootstrap = bootstrap
         self._rng = np.random.default_rng(seed)
         self.trees_: list = []
+        self._flat: Optional[_FlatForest] = None
         self.n_features_: Optional[int] = None
 
     def fit(self, X, y) -> "RandomForestRegressor":
@@ -86,18 +174,25 @@ class RandomForestRegressor:
                 idx = np.arange(n_samples)
             tree.fit(X[idx], y[idx])
             self.trees_.append(tree)
+        self._flat = _FlatForest(self.trees_)
         return self
 
     def _check_fitted(self) -> None:
-        if not self.trees_:
+        if not self.trees_ or self._flat is None:
             raise RuntimeError("RandomForestRegressor must be fit before predict")
+
+    def _validate_predict_input(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = np.ascontiguousarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("feature dimension mismatch in predict")
+        return X
 
     def predict(self, X) -> np.ndarray:
         """Mean prediction across trees."""
-        self._check_fitted()
-        X = np.asarray(X, dtype=float)
-        preds = np.stack([tree.predict(X) for tree in self.trees_], axis=0)
-        return preds.mean(axis=0)
+        X = self._validate_predict_input(X)
+        assert self._flat is not None
+        return self._flat.value[self._flat.leaf_indices(X)].mean(axis=1)
 
     def predict_mean_std(self, X) -> tuple:
         """Mean and standard deviation of predictions.
@@ -106,12 +201,24 @@ class RandomForestRegressor:
         (epistemic) with the average within-leaf variance (aleatoric), the
         standard law-of-total-variance decomposition used by SMAC.
         """
+        X = self._validate_predict_input(X)
+        assert self._flat is not None
+        leaves = self._flat.leaf_indices(X)
+        means = self._flat.value[leaves]  # (n_rows, n_trees)
+        variances = self._flat.variance[leaves]
+        mean = means.mean(axis=1)
+        total_var = means.var(axis=1) + variances.mean(axis=1)
+        return mean, np.sqrt(np.maximum(total_var, 1e-12))
+
+    # ------------------------------------------- legacy per-tree prediction
+    def predict_mean_std_pointer(self, X) -> tuple:
+        """Per-row, per-tree pointer-walk mean/std (legacy reference)."""
         self._check_fitted()
         X = np.asarray(X, dtype=float)
         means = []
         variances = []
         for tree in self.trees_:
-            mean, var = tree.predict_with_variance(X)
+            mean, var = tree.predict_with_variance_pointer(X)
             means.append(mean)
             variances.append(var)
         means_arr = np.stack(means, axis=0)
@@ -123,18 +230,10 @@ class RandomForestRegressor:
     def feature_importances(self) -> np.ndarray:
         """Crude split-count feature importance, normalised to sum to one."""
         self._check_fitted()
-        assert self.n_features_ is not None
+        assert self.n_features_ is not None and self._flat is not None
+        internal = self._flat.left >= 0
         counts = np.zeros(self.n_features_, dtype=float)
-
-        def _walk(node) -> None:
-            if node is None or node.is_leaf:
-                return
-            counts[node.feature] += node.n_samples
-            _walk(node.left)
-            _walk(node.right)
-
-        for tree in self.trees_:
-            _walk(tree._root)
+        np.add.at(counts, self._flat.feature[internal], self._flat.n_samples[internal])
         total = counts.sum()
         if total == 0:
             return np.full(self.n_features_, 1.0 / self.n_features_)

@@ -90,7 +90,8 @@ class GaussianProcessRegressor:
         if not return_std:
             return mean
         v = np.linalg.solve(self._L, K_star.T)
-        prior_var = np.diag(self.kernel(X, X))
+        # kernel.diag avoids materialising the m×m prior covariance matrix.
+        prior_var = self.kernel.diag(X)
         var_norm = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
         std = np.sqrt(var_norm) * self._y_std
         return mean, std
@@ -100,7 +101,8 @@ class GaussianProcessRegressor:
         self._check_fitted()
         assert self._X is not None and self._alpha is not None and self._L is not None
         n = self._X.shape[0]
-        y_norm = self._L @ np.linalg.solve(self._L, self._alpha)  # reconstructs y_norm
+        # alpha = K^-1 y_norm and K = L L^T, so y_norm = L (L^T alpha).
+        y_norm = self._L @ (self._L.T @ self._alpha)
         # -0.5 y^T alpha - sum(log diag L) - n/2 log(2 pi)
         data_fit = -0.5 * float(y_norm @ self._alpha)
         complexity = -float(np.sum(np.log(np.diag(self._L))))

@@ -21,13 +21,28 @@ def _pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
 
 
 class Kernel:
-    """Base kernel with sum/product composition operators."""
+    """Base kernel with sum/product composition operators.
+
+    ``diag(A)`` returns the diagonal of ``K(A, A)`` without materialising
+    the full m×m matrix; every provided kernel computes it in O(m).  The GP
+    posterior-variance path calls ``diag`` instead of ``np.diag(k(X, X))``.
+    """
 
     def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
     def diag(self, A: np.ndarray) -> np.ndarray:
-        return np.diag(self(A, A))
+        """Per-row self-covariance ``k(x, x)``.
+
+        The fallback evaluates one 1×1 kernel per row — O(m·d) work and O(m)
+        memory, instead of building the full m×m matrix for its diagonal.
+        Stationary kernels override this with a constant vector.
+        """
+        A = np.atleast_2d(A)
+        return np.array(
+            [float(self(row[None, :], row[None, :])[0, 0]) for row in A],
+            dtype=float,
+        )
 
     def __add__(self, other: "Kernel") -> "Kernel":
         return _SumKernel(self, other)
@@ -44,6 +59,9 @@ class _SumKernel(Kernel):
     def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         return self.left(A, B) + self.right(A, B)
 
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return self.left.diag(A) + self.right.diag(A)
+
 
 class _ProductKernel(Kernel):
     def __init__(self, left: Kernel, right: Kernel) -> None:
@@ -52,6 +70,9 @@ class _ProductKernel(Kernel):
 
     def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         return self.left(A, B) * self.right(A, B)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return self.left.diag(A) * self.right.diag(A)
 
 
 class ConstantKernel(Kernel):
@@ -67,9 +88,21 @@ class ConstantKernel(Kernel):
         B = np.atleast_2d(B)
         return np.full((A.shape[0], B.shape[0]), self.value, dtype=float)
 
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(A).shape[0], self.value, dtype=float)
+
 
 class WhiteKernel(Kernel):
-    """White-noise kernel; contributes only on the diagonal of K(X, X)."""
+    """White-noise kernel; contributes only on the self-covariance.
+
+    ``__call__`` treats the two arguments as the same sample set only when
+    they are the *same object* (which is how the GP fit path calls it); any
+    other pair is cross-covariance and gets zeros.  There is deliberately no
+    element-wise equality fallback — detecting equal-but-distinct arrays
+    cost a full O(n·d) comparison on every call.  Callers that want the
+    noise on the diagonal of a self-covariance should pass the identical
+    array object, or use :meth:`diag`.
+    """
 
     def __init__(self, noise: float = 1e-6) -> None:
         if noise < 0:
@@ -77,14 +110,15 @@ class WhiteKernel(Kernel):
         self.noise = float(noise)
 
     def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        same = A is B
         A = np.atleast_2d(A)
         B = np.atleast_2d(B)
-        if A.shape[0] == B.shape[0] and A is B:
+        if same:
             return self.noise * np.eye(A.shape[0])
-        out = np.zeros((A.shape[0], B.shape[0]), dtype=float)
-        if A.shape == B.shape and np.array_equal(A, B):
-            np.fill_diagonal(out, self.noise)
-        return out
+        return np.zeros((A.shape[0], B.shape[0]), dtype=float)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(A).shape[0], self.noise, dtype=float)
 
 
 class RBFKernel(Kernel):
@@ -98,6 +132,9 @@ class RBFKernel(Kernel):
     def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         sq = _pairwise_sq_dists(np.atleast_2d(A), np.atleast_2d(B))
         return np.exp(-0.5 * sq / self.length_scale**2)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.ones(np.atleast_2d(A).shape[0], dtype=float)
 
 
 class Matern52Kernel(Kernel):
@@ -113,3 +150,6 @@ class Matern52Kernel(Kernel):
         d = np.sqrt(sq) / self.length_scale
         sqrt5_d = np.sqrt(5.0) * d
         return (1.0 + sqrt5_d + 5.0 / 3.0 * d**2) * np.exp(-sqrt5_d)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.ones(np.atleast_2d(A).shape[0], dtype=float)

@@ -5,6 +5,26 @@ arrays.  It is intentionally small but supports the features the surrogate and
 noise-adjuster models need: per-split feature subsampling (``max_features``),
 depth and leaf-size limits, and per-leaf variance estimates so the forest can
 expose predictive uncertainty to the Bayesian optimizer.
+
+Inference layout
+----------------
+Fitting builds a conventional pointer tree of :class:`_Node` objects, which is
+then *compiled* into a flat structure-of-arrays representation::
+
+    feature[i]    split feature of node i          (0 for leaves)
+    threshold[i]  split threshold of node i        (nan for leaves)
+    left[i]       index of the left child, -1 for leaves
+    right[i]      index of the right child, -1 for leaves
+    value[i]      mean of the training targets routed to node i
+    variance[i]   variance of the training targets routed to node i
+    n_samples[i]  number of training rows routed to node i
+
+Batch prediction advances *all* query rows level-by-level with NumPy fancy
+indexing (``predict`` / ``predict_with_variance``): per loop iteration every
+row still inside the tree takes one step, so the Python-level loop runs at
+most ``depth`` times regardless of the number of rows.  The legacy per-row
+pointer walk is kept as ``predict_pointer`` / ``predict_with_variance_pointer``
+for equivalence tests and as the benchmark baseline.
 """
 
 from __future__ import annotations
@@ -30,6 +50,80 @@ class _Node:
     @property
     def is_leaf(self) -> bool:
         return self.left is None
+
+
+@dataclass
+class FlatTree:
+    """Structure-of-arrays compilation of a fitted pointer tree."""
+
+    feature: np.ndarray  # (n_nodes,) intp, 0 for leaves
+    threshold: np.ndarray  # (n_nodes,) float, nan for leaves
+    left: np.ndarray  # (n_nodes,) intp, -1 for leaves
+    right: np.ndarray  # (n_nodes,) intp, -1 for leaves
+    value: np.ndarray  # (n_nodes,) float
+    variance: np.ndarray  # (n_nodes,) float
+    n_samples: np.ndarray  # (n_nodes,) intp
+
+    @property
+    def n_nodes(self) -> int:
+        return self.left.shape[0]
+
+    def leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """Node index of the leaf each row of ``X`` lands in (vectorized)."""
+        idx = np.zeros(X.shape[0], dtype=np.intp)
+        active = np.flatnonzero(self.left[idx] >= 0)
+        while active.size:
+            nodes = idx[active]
+            go_left = X[active, self.feature[nodes]] <= self.threshold[nodes]
+            idx[active] = np.where(go_left, self.left[nodes], self.right[nodes])
+            active = active[self.left[idx[active]] >= 0]
+        return idx
+
+
+def _compile_tree(root: _Node) -> FlatTree:
+    """Flatten a pointer tree into arrays (preorder node numbering)."""
+    feature: list = []
+    threshold: list = []
+    left: list = []
+    right: list = []
+    value: list = []
+    variance: list = []
+    n_samples: list = []
+    # (node, parent index, is_right_child); preorder via an explicit stack so
+    # deep trees cannot hit the recursion limit.
+    stack = [(root, -1, False)]
+    while stack:
+        node, parent, is_right = stack.pop()
+        idx = len(feature)
+        if parent >= 0:
+            if is_right:
+                right[parent] = idx
+            else:
+                left[parent] = idx
+        if node.is_leaf:
+            feature.append(0)
+            threshold.append(np.nan)
+        else:
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+        left.append(-1)
+        right.append(-1)
+        value.append(node.value)
+        variance.append(node.variance)
+        n_samples.append(node.n_samples)
+        if not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            stack.append((node.right, idx, True))
+            stack.append((node.left, idx, False))
+    return FlatTree(
+        feature=np.asarray(feature, dtype=np.intp),
+        threshold=np.asarray(threshold, dtype=float),
+        left=np.asarray(left, dtype=np.intp),
+        right=np.asarray(right, dtype=np.intp),
+        value=np.asarray(value, dtype=float),
+        variance=np.asarray(variance, dtype=float),
+        n_samples=np.asarray(n_samples, dtype=np.intp),
+    )
 
 
 class DecisionTreeRegressor:
@@ -69,6 +163,7 @@ class DecisionTreeRegressor:
         self.max_features = max_features
         self._rng = np.random.default_rng(seed)
         self._root: Optional[_Node] = None
+        self._flat: Optional[FlatTree] = None
         self.n_features_: Optional[int] = None
 
     # ------------------------------------------------------------------ fit
@@ -83,6 +178,7 @@ class DecisionTreeRegressor:
             raise ValueError("cannot fit a tree on zero samples")
         self.n_features_ = X.shape[1]
         self._root = self._build(X, y, depth=0)
+        self._flat = _compile_tree(self._root)
         return self
 
     def _n_split_features(self) -> int:
@@ -167,6 +263,32 @@ class DecisionTreeRegressor:
         return best
 
     # -------------------------------------------------------------- predict
+    @property
+    def flat(self) -> FlatTree:
+        """The flat-array compilation of the fitted tree."""
+        if self._flat is None:
+            raise RuntimeError("DecisionTreeRegressor must be fit before predict")
+        return self._flat
+
+    def _validate_predict_input(self, X) -> np.ndarray:
+        if self._flat is None:
+            raise RuntimeError("DecisionTreeRegressor must be fit before predict")
+        X = np.ascontiguousarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("feature dimension mismatch in predict")
+        return X
+
+    def predict(self, X) -> np.ndarray:
+        X = self._validate_predict_input(X)
+        return self.flat.value[self.flat.leaf_indices(X)]
+
+    def predict_with_variance(self, X) -> tuple:
+        """Return per-row leaf means and leaf variances."""
+        X = self._validate_predict_input(X)
+        leaves = self.flat.leaf_indices(X)
+        return self.flat.value[leaves], self.flat.variance[leaves]
+
+    # ------------------------------------------- legacy pointer-walk predict
     def _locate(self, row: np.ndarray) -> _Node:
         assert self._root is not None
         node = self._root
@@ -175,21 +297,14 @@ class DecisionTreeRegressor:
             node = node.left if row[node.feature] <= node.threshold else node.right
         return node
 
-    def predict(self, X) -> np.ndarray:
-        if self._root is None:
-            raise RuntimeError("DecisionTreeRegressor must be fit before predict")
-        X = np.asarray(X, dtype=float)
-        if X.ndim != 2 or X.shape[1] != self.n_features_:
-            raise ValueError("feature dimension mismatch in predict")
+    def predict_pointer(self, X) -> np.ndarray:
+        """Per-row pointer-walk prediction (legacy reference implementation)."""
+        X = self._validate_predict_input(X)
         return np.array([self._locate(row).value for row in X], dtype=float)
 
-    def predict_with_variance(self, X) -> tuple:
-        """Return per-row leaf means and leaf variances."""
-        if self._root is None:
-            raise RuntimeError("DecisionTreeRegressor must be fit before predict")
-        X = np.asarray(X, dtype=float)
-        if X.ndim != 2 or X.shape[1] != self.n_features_:
-            raise ValueError("feature dimension mismatch in predict")
+    def predict_with_variance_pointer(self, X) -> tuple:
+        """Per-row pointer-walk means/variances (legacy reference)."""
+        X = self._validate_predict_input(X)
         leaves = [self._locate(row) for row in X]
         means = np.array([leaf.value for leaf in leaves], dtype=float)
         variances = np.array([leaf.variance for leaf in leaves], dtype=float)
@@ -211,14 +326,6 @@ class DecisionTreeRegressor:
     @property
     def n_leaves(self) -> int:
         """Number of leaves in the fitted tree."""
-
-        def _count(node: Optional[_Node]) -> int:
-            if node is None:
-                return 0
-            if node.is_leaf:
-                return 1
-            return _count(node.left) + _count(node.right)
-
-        if self._root is None:
+        if self._flat is None:
             raise RuntimeError("tree is not fitted")
-        return _count(self._root)
+        return int(np.count_nonzero(self._flat.left < 0))

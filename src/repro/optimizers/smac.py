@@ -14,6 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.configspace import Configuration, ConfigurationSpace
+from repro.ml.cache import SurrogateCache
 from repro.ml.forest import RandomForestRegressor
 from repro.optimizers.acquisition import expected_improvement
 from repro.optimizers.base import Optimizer
@@ -62,6 +63,10 @@ class SMACOptimizer(Optimizer):
         )
         self._initial_served = 0
         self._asked_pending: List[Configuration] = []
+        # Fitted surrogate keyed on observation count: back-to-back ask()
+        # calls without an intervening tell() reuse the forest instead of
+        # refitting all n_trees trees on identical data.
+        self._surrogate_cache = SurrogateCache()
 
     # -- initial design ------------------------------------------------------
     def _next_initial(self) -> Optional[Configuration]:
@@ -76,6 +81,9 @@ class SMACOptimizer(Optimizer):
 
     # -- surrogate ------------------------------------------------------
     def _fit_surrogate(self) -> tuple:
+        cached = self._surrogate_cache.get(self.n_observations)
+        if cached is not None:
+            return cached
         X, y, configs = self._training_data()
         forest = RandomForestRegressor(
             n_estimators=self.n_trees,
@@ -85,7 +93,9 @@ class SMACOptimizer(Optimizer):
             seed=int(self._rng.integers(0, 2**31 - 1)),
         )
         forest.fit(X, y)
-        return forest, X, y, configs
+        fitted = (forest, X, y, configs)
+        self._surrogate_cache.put(self.n_observations, fitted)
+        return fitted
 
     def _candidate_pool(self, configs: List[Configuration], y: np.ndarray) -> List[Configuration]:
         candidates = self.space.sample_batch(self.n_candidates, rng=self._rng)

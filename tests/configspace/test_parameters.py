@@ -164,3 +164,110 @@ class TestBooleanParameter:
         p = BooleanParameter("flag")
         values = {p.sample(RNG) for _ in range(50)}
         assert values == {True, False}
+
+
+class TestColumnarParameterOps:
+    """Columnar encode/decode/sample/neighbour must agree with scalar ops."""
+
+    PARAMS = [
+        FloatParameter("f", 0.5, 9.5),
+        FloatParameter("flog", 0.1, 1000.0, log=True),
+        IntegerParameter("i", 1, 200),
+        IntegerParameter("ilog", 2, 4096, log=True),
+        CategoricalParameter("c", ["a", "b", "c", "d"]),
+        BooleanParameter("b"),
+    ]
+
+    @pytest.mark.parametrize("p", PARAMS, ids=lambda p: p.name)
+    def test_encode_array_matches_scalar_encode(self, p):
+        rng = np.random.default_rng(42)
+        values = [p.sample(rng) for _ in range(64)]
+        batch = p.encode_array(values)
+        scalar = np.array([p.encode(v) for v in values])
+        assert np.allclose(batch, scalar, rtol=0, atol=1e-15)
+
+    @pytest.mark.parametrize("p", PARAMS, ids=lambda p: p.name)
+    def test_decode_array_matches_scalar_decode(self, p):
+        rng = np.random.default_rng(43)
+        units = rng.random(64)
+        units[:3] = [0.0, 1.0, 0.5]
+        batch = p.decode_array(units)
+        scalar = [p.decode(u) for u in units]
+        if isinstance(p, FloatParameter):
+            assert np.allclose(batch, scalar, rtol=1e-12)
+        else:
+            assert batch == scalar
+
+    @pytest.mark.parametrize("p", PARAMS, ids=lambda p: p.name)
+    def test_sample_array_values_are_legal(self, p):
+        rng = np.random.default_rng(44)
+        for value in p.sample_array(128, rng):
+            p.validate(value)
+
+    @pytest.mark.parametrize("p", PARAMS, ids=lambda p: p.name)
+    def test_neighbour_array_values_are_legal_and_python_typed(self, p):
+        rng = np.random.default_rng(45)
+        base = p.sample(rng)
+        neighbours = p.neighbour_array(base, 32, rng, scale=0.15)
+        assert len(neighbours) == 32
+        for value in neighbours:
+            p.validate(value)
+            assert not isinstance(value, np.generic)
+
+    def test_integer_neighbour_array_never_stalls(self):
+        p = IntegerParameter("i", 0, 100)
+        rng = np.random.default_rng(46)
+        # A tiny scale would round every perturbation back to the base value
+        # without the forced one-step move.
+        neighbours = p.neighbour_array(50, 64, rng, scale=1e-9)
+        assert all(v != 50 for v in neighbours)
+        assert set(neighbours) <= {49, 51}
+
+    def test_float_encode_array_rejects_out_of_range(self):
+        p = FloatParameter("f", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            p.encode_array([0.5, 1.5])
+
+    def test_integer_encode_array_rejects_non_integers(self):
+        p = IntegerParameter("i", 0, 10)
+        with pytest.raises(ValueError):
+            p.encode_array([1, 2.5])
+
+    def test_categorical_encode_array_rejects_unknown(self):
+        p = CategoricalParameter("c", ["x", "y"])
+        with pytest.raises(ValueError):
+            p.encode_array(["x", "z"])
+
+    def test_base_class_fallbacks_used_by_custom_subclass(self):
+        from repro.configspace.parameters import Parameter
+
+        class UnitParameter(Parameter):
+            """Minimal scalar-only parameter relying on base columnar ops."""
+
+            def __init__(self):
+                super().__init__("u", 0.5)
+
+            def sample(self, rng):
+                return float(rng.random())
+
+            def encode(self, value):
+                return float(value)
+
+            def decode(self, unit):
+                return float(min(max(unit, 0.0), 1.0))
+
+            def neighbour(self, value, rng, scale=0.2):
+                return self.decode(value + rng.normal(0.0, scale))
+
+            def validate(self, value):
+                if not (0.0 <= value <= 1.0):
+                    raise ValueError("out of range")
+
+        p = UnitParameter()
+        rng = np.random.default_rng(47)
+        assert np.allclose(p.encode_array([0.1, 0.9]), [0.1, 0.9])
+        assert p.decode_array(np.array([-1.0, 0.25])) == [0.0, 0.25]
+        for value in p.sample_array(8, rng):
+            p.validate(value)
+        for value in p.neighbour_array(0.5, 8, rng):
+            p.validate(value)

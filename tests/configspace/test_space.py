@@ -181,3 +181,69 @@ class TestConfiguration:
     def test_requires_space_instance(self):
         with pytest.raises(TypeError):
             Configuration("not a space", {})
+
+
+class TestColumnarSpaceOps:
+    def test_encode_batch_matches_per_config_encode(self):
+        space = make_space()
+        configs = space.sample_batch(25)
+        batch = space.encode_batch(configs)
+        per_config = np.stack([space.encode(c) for c in configs], axis=0)
+        assert np.allclose(batch, per_config, rtol=0, atol=1e-15)
+
+    def test_sample_batch_values_are_legal_python_types(self):
+        space = make_space()
+        for config in space.sample_batch(50):
+            for name in space.names:
+                space[name].validate(config[name])
+                assert not isinstance(config[name], np.generic)
+
+    def test_sample_batch_configs_hash_like_constructed_ones(self):
+        space = make_space()
+        for config in space.sample_batch(10):
+            rebuilt = Configuration(space, config.as_dict())
+            assert rebuilt == config
+            assert hash(rebuilt) == hash(config)
+
+    def test_neighbours_change_exactly_one_knob(self):
+        space = make_space()
+        config = space.default_configuration()
+        for neighbour in space.neighbours(config, 40):
+            diffs = [n for n in space.names if neighbour[n] != config[n]]
+            assert len(diffs) <= 1
+            for name in space.names:
+                space[name].validate(neighbour[name])
+
+    def test_neighbours_cover_all_knobs(self):
+        space = make_space()
+        config = space.default_configuration()
+        rng = np.random.default_rng(9)
+        changed = set()
+        for neighbour in space.neighbours(config, 200, rng=rng):
+            for name in space.names:
+                if neighbour[name] != config[name]:
+                    changed.add(name)
+        assert changed == set(space.names)
+
+    def test_neighbours_zero_and_negative(self):
+        space = make_space()
+        config = space.default_configuration()
+        assert space.neighbours(config, 0) == []
+        assert space.neighbours(config, -3) == []
+
+    def test_encode_batch_rejects_foreign_space(self):
+        space = make_space()
+        other = ConfigurationSpace([FloatParameter("zzz", 0.0, 1.0)])
+        foreign = other.sample()
+        with pytest.raises(ValueError):
+            space.encode_batch([foreign])
+
+    def test_neighbours_validate_base_against_this_space(self):
+        # A structurally identical space with tighter bounds must reject a
+        # base config whose values are illegal here, instead of leaking
+        # them into the returned neighbours unvalidated.
+        wide = ConfigurationSpace([FloatParameter("x", 0.0, 100.0), FloatParameter("y", 0.0, 1.0)])
+        narrow = ConfigurationSpace([FloatParameter("x", 0.0, 10.0), FloatParameter("y", 0.0, 1.0)])
+        config = Configuration(wide, {"x": 50.0, "y": 0.5})
+        with pytest.raises(ValueError):
+            narrow.neighbours(config, 4, rng=np.random.default_rng(0))

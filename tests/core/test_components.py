@@ -397,3 +397,25 @@ class TestNoiseAdjuster:
     def test_invalid_min_training_configs(self):
         with pytest.raises(ValueError):
             NoiseAdjuster(worker_ids=["w"], min_training_configs=0)
+
+
+class TestNoiseAdjusterCache:
+    def test_identical_training_data_reuses_model(self):
+        groups, workers = TestNoiseAdjuster._training_groups(TestNoiseAdjuster())
+        adjuster = NoiseAdjuster(worker_ids=workers, seed=0)
+        assert adjuster.train(groups) is True
+        model_a = adjuster._model
+        generation_a = adjuster.generation
+        assert adjuster.train(groups) is True
+        assert adjuster._model is model_a  # refit skipped
+        assert adjuster.generation == generation_a + 1  # counter still advances
+
+    def test_changed_training_data_refits(self):
+        groups, workers = TestNoiseAdjuster._training_groups(TestNoiseAdjuster())
+        adjuster = NoiseAdjuster(worker_ids=workers, seed=0)
+        assert adjuster.train(groups) is True
+        model_a = adjuster._model
+        grown = [list(group) for group in groups]
+        grown[0] = grown[0] + grown[0][:1]
+        assert adjuster.train(grown) is True
+        assert adjuster._model is not model_a

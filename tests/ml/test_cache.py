@@ -1,0 +1,32 @@
+"""Tests for the single-entry surrogate cache."""
+
+from repro.ml.cache import SurrogateCache
+
+
+class TestSurrogateCache:
+    def test_empty_cache_misses(self):
+        cache = SurrogateCache()
+        assert cache.get(1) is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_put_then_get(self):
+        cache = SurrogateCache()
+        payload = object()
+        cache.put(("n", 5), payload)
+        assert cache.get(("n", 5)) is payload
+        assert cache.hits == 1
+
+    def test_stale_key_misses_and_is_replaced(self):
+        cache = SurrogateCache()
+        cache.put(5, "model-a")
+        assert cache.get(6) is None
+        cache.put(6, "model-b")
+        assert cache.get(6) == "model-b"
+        assert cache.get(5) is None  # only one entry is kept
+
+    def test_invalidate(self):
+        cache = SurrogateCache()
+        cache.put(1, "model")
+        cache.invalidate()
+        assert cache.get(1) is None

@@ -1,0 +1,131 @@
+"""Flat-array inference must agree with the legacy pointer walk.
+
+Property-style checks over randomised fits: the vectorized structure-of-
+arrays ``predict`` / ``predict_with_variance`` (tree) and
+``predict_mean_std`` (forest) are compared against the per-row pointer-walk
+reference implementations that the seed shipped with (kept as
+``*_pointer`` methods).  Tree-level results must be *identical* — both
+paths gather the same leaf statistics.  Forest-level aggregates are allowed
+float-addition-order slack only (NumPy's reductions are not bit-stable
+across allocations), pinned at 1e-12.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _random_problem(rng, n, d, duplicates=False):
+    X = rng.random((n, d))
+    if duplicates:
+        # Quantise features so many rows share values and splits must
+        # tie-break between equal thresholds.
+        X = np.round(X * 4.0) / 4.0
+    y = rng.normal(size=n) + 2.0 * X[:, 0] - X[:, d // 2] ** 2
+    return X, y
+
+
+TREE_CASES = [
+    # (rng_seed, max_depth, min_samples_leaf, n, d, duplicates)
+    (10, None, 1, 120, 5, False),
+    (11, None, 1, 120, 5, True),
+    (12, 3, 1, 80, 4, False),
+    (13, None, 7, 150, 6, False),
+    (14, 1, 1, 60, 3, True),
+    (15, None, 1, 2, 2, False),
+]
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize("seed,max_depth,min_leaf,n,d,dup", TREE_CASES)
+    def test_predict_identical_to_pointer_walk(self, seed, max_depth, min_leaf, n, d, dup):
+        rng = np.random.default_rng(seed)
+        X, y = _random_problem(rng, n, d, duplicates=dup)
+        tree = DecisionTreeRegressor(
+            max_depth=max_depth, min_samples_leaf=min_leaf, seed=0
+        ).fit(X, y)
+        for Xq in (X, rng.random((200, d)), np.round(rng.random((50, d)) * 4) / 4):
+            assert np.array_equal(tree.predict(Xq), tree.predict_pointer(Xq))
+            mean, var = tree.predict_with_variance(Xq)
+            mean_ref, var_ref = tree.predict_with_variance_pointer(Xq)
+            assert np.array_equal(mean, mean_ref)
+            assert np.array_equal(var, var_ref)
+
+    def test_single_leaf_tree(self):
+        X = np.ones((10, 3))  # no split possible: constant features
+        y = np.arange(10.0)
+        tree = DecisionTreeRegressor(seed=0).fit(X, y)
+        assert tree.n_leaves == 1
+        Xq = np.random.default_rng(0).random((25, 3))
+        assert np.array_equal(tree.predict(Xq), tree.predict_pointer(Xq))
+        assert np.allclose(tree.predict(Xq), np.mean(y))
+
+    def test_query_values_exactly_on_thresholds(self):
+        rng = np.random.default_rng(3)
+        X = rng.integers(0, 4, size=(100, 3)).astype(float)
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(seed=1).fit(X, y)
+        # Integer grid + midpoint thresholds exercises the <= boundary.
+        Xq = rng.integers(0, 4, size=(300, 3)).astype(float)
+        assert np.array_equal(tree.predict(Xq), tree.predict_pointer(Xq))
+
+    def test_empty_query(self):
+        X = np.random.default_rng(0).random((20, 4))
+        tree = DecisionTreeRegressor(seed=0).fit(X, X[:, 0])
+        assert tree.predict(np.zeros((0, 4))).shape == (0,)
+
+    def test_flat_arrays_describe_the_tree(self):
+        X = np.random.default_rng(1).random((60, 4))
+        tree = DecisionTreeRegressor(seed=0).fit(X, X[:, 1])
+        flat = tree.flat
+        leaves = flat.left < 0
+        assert np.count_nonzero(leaves) == tree.n_leaves
+        # Internal nodes reference children inside the array.
+        internal = ~leaves
+        assert np.all(flat.left[internal] >= 0)
+        assert np.all(flat.right[internal] >= 0)
+        assert np.all(flat.left < flat.n_nodes)
+        assert np.all(flat.right < flat.n_nodes)
+        # Root carries all the samples.
+        assert flat.n_samples[0] == 60
+
+
+class TestForestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("min_leaf", [1, 4])
+    def test_mean_std_matches_pointer_walk(self, seed, min_leaf):
+        rng = np.random.default_rng(seed)
+        X, y = _random_problem(rng, 130, 6)
+        forest = RandomForestRegressor(
+            n_estimators=12, min_samples_leaf=min_leaf, seed=seed
+        ).fit(X, y)
+        Xq = rng.random((400, 6))
+        mean, std = forest.predict_mean_std(Xq)
+        mean_ref, std_ref = forest.predict_mean_std_pointer(Xq)
+        assert np.allclose(mean, mean_ref, rtol=1e-12, atol=1e-12)
+        assert np.allclose(std, std_ref, rtol=1e-12, atol=1e-12)
+        assert np.allclose(forest.predict(Xq), mean_ref, rtol=1e-12, atol=1e-12)
+
+    def test_per_tree_leaves_match(self):
+        rng = np.random.default_rng(7)
+        X, y = _random_problem(rng, 90, 5, duplicates=True)
+        forest = RandomForestRegressor(n_estimators=8, seed=3).fit(X, y)
+        Xq = rng.random((150, 5))
+        assert forest._flat is not None
+        leaves = forest._flat.leaf_indices(np.ascontiguousarray(Xq))
+        stacked_means = forest._flat.value[leaves]
+        for t, tree in enumerate(forest.trees_):
+            ref, _ = tree.predict_with_variance_pointer(Xq)
+            assert np.array_equal(stacked_means[:, t], ref)
+
+    def test_single_tree_forest(self):
+        rng = np.random.default_rng(11)
+        X, y = _random_problem(rng, 40, 3)
+        forest = RandomForestRegressor(n_estimators=1, seed=0).fit(X, y)
+        Xq = rng.random((60, 3))
+        mean, std = forest.predict_mean_std(Xq)
+        mean_ref, std_ref = forest.predict_mean_std_pointer(Xq)
+        assert np.allclose(mean, mean_ref, rtol=1e-12, atol=1e-12)
+        assert np.allclose(std, std_ref, rtol=1e-12, atol=1e-12)

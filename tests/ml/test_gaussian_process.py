@@ -47,6 +47,48 @@ class TestKernels:
         K = WhiteKernel(0.1)(X, X)
         assert np.allclose(K, 0.1 * np.eye(5))
 
+    def test_white_kernel_identity_detection_is_by_object(self):
+        # Self-covariance is detected by object identity only; an
+        # equal-but-distinct array is treated as cross-covariance (zeros)
+        # instead of paying an O(n*d) element comparison per call.
+        X = np.random.default_rng(3).random((5, 2))
+        assert np.allclose(WhiteKernel(0.1)(X, X.copy()), np.zeros((5, 5)))
+        assert np.allclose(WhiteKernel(0.1).diag(X), np.full(5, 0.1))
+        # A non-array input that is the same object is still self-covariance.
+        rows = X.tolist()
+        assert np.allclose(WhiteKernel(0.1)(rows, rows), 0.1 * np.eye(5))
+
+    def test_diag_matches_full_matrix_diagonal(self):
+        X = np.random.default_rng(4).random((9, 3))
+        kernels = [
+            RBFKernel(0.7),
+            Matern52Kernel(0.4),
+            ConstantKernel(2.5),
+            WhiteKernel(0.05),
+            ConstantKernel(2.0) * RBFKernel(0.5) + WhiteKernel(0.01),
+            ConstantKernel(3.0) * Matern52Kernel(0.8),
+        ]
+        for kernel in kernels:
+            assert np.allclose(kernel.diag(X), np.diag(kernel(X, X)))
+
+    def test_base_class_diag_fallback_avoids_full_matrix(self):
+        class TracingRBF(RBFKernel):
+            max_rows = 0
+
+            def __call__(self, A, B):
+                self.max_rows = max(self.max_rows, np.atleast_2d(A).shape[0])
+                return super().__call__(A, B)
+
+            diag = None  # force the base-class fallback
+
+        kernel = TracingRBF(0.5)
+        from repro.ml.kernels import Kernel
+
+        X = np.random.default_rng(5).random((30, 2))
+        diag = Kernel.diag(kernel, X)
+        assert np.allclose(diag, 1.0)
+        assert kernel.max_rows == 1  # never evaluated more than 1x1 blocks
+
     def test_kernel_composition(self):
         X = np.random.default_rng(4).random((6, 2))
         k = ConstantKernel(2.0) * RBFKernel(0.5) + WhiteKernel(0.01)
@@ -119,6 +161,35 @@ class TestGaussianProcess:
         y = X[:, 0] * 2.0
         gp = GaussianProcessRegressor(noise=1e-4).fit(X, y)
         assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_log_marginal_likelihood_matches_direct_formula(self):
+        # Regression test: the data-fit term must use y_norm = L (L^T alpha),
+        # not L (L^-1 alpha), which collapses to alpha.
+        rng = np.random.default_rng(6)
+        X = rng.random((18, 3))
+        y = np.sin(5 * X[:, 0]) + 0.5 * X[:, 1]
+        noise = 1e-3
+        gp = GaussianProcessRegressor(noise=noise, normalize_y=True).fit(X, y)
+
+        y_norm = (y - np.mean(y)) / np.std(y)
+        K = gp.kernel(X, X)
+        K[np.diag_indices_from(K)] += noise + 1e-10
+        n = X.shape[0]
+        direct = (
+            -0.5 * float(y_norm @ np.linalg.solve(K, y_norm))
+            - 0.5 * float(np.log(np.linalg.det(K)))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        assert gp.log_marginal_likelihood() == pytest.approx(direct, rel=1e-8)
+
+    def test_prior_variance_far_from_data_approaches_kernel_diag(self):
+        # With kernel.diag used for the prior term, the posterior variance
+        # far away from the data must approach k(x, x) = 1 for Matern 5/2.
+        X = np.full((8, 2), 0.5) + np.random.default_rng(7).normal(0, 0.01, (8, 2))
+        y = np.random.default_rng(8).normal(size=8)
+        gp = GaussianProcessRegressor(noise=1e-6, normalize_y=False).fit(X, y)
+        _, std = gp.predict(np.array([[50.0, -50.0]]), return_std=True)
+        assert std[0] == pytest.approx(1.0, abs=1e-6)
 
     def test_constant_targets(self):
         X = np.random.default_rng(3).random((10, 2))

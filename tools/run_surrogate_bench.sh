@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Surrogate-inference microbenchmark smoke run: prints fit time, batched
+# predict throughput at n in {100, 1000, 10000}, and asserts the flat-array
+# path stays >= 10x faster than the legacy pointer walk.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest benchmarks/test_bench_surrogate_throughput.py -q -s "$@"

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full test + benchmark suite, exactly as ROADMAP.md
+# specifies it.  Run from the repository root (or let the script cd there).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest -x -q "$@"
