@@ -3,9 +3,10 @@
 #   make test             tier-1 gate (full test + benchmark suite, -x -q)
 #   make test-fast        unit tests only (skips the figure benchmarks)
 #   make bench-surrogate  surrogate-inference throughput microbenchmark
+#   make bench-async      async batched execution makespan microbenchmark
 #   make bench            all figure benchmarks
 
-.PHONY: test test-fast bench bench-surrogate
+.PHONY: test test-fast bench bench-surrogate bench-async
 
 test:
 	./tools/run_tier1.sh
@@ -15,6 +16,9 @@ test-fast:
 
 bench-surrogate:
 	./tools/run_surrogate_bench.sh
+
+bench-async:
+	./tools/run_async_bench.sh
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q

@@ -94,12 +94,29 @@ class Cluster:
 
     # -- time -------------------------------------------------------
     def advance(self, hours: float) -> None:
-        """Advance the cluster-wide clock (and every worker's local clock)."""
+        """Advance the cluster-wide clock (and every worker's local clock).
+
+        This is the *lockstep* clock model of the sequential tuning loop:
+        every iteration moves the whole cluster forward uniformly.  The
+        asynchronous engine instead drives each worker's clock along its own
+        timeline (``vm.advance`` per worker) and only moves the cluster-wide
+        clock through :meth:`advance_clock`.
+        """
         if hours < 0:
             raise ValueError("hours must be non-negative")
         self.clock_hours += hours
         for vm in self.workers:
             vm.advance(hours)
+
+    def advance_clock(self, hours: float) -> None:
+        """Advance only the cluster-wide (orchestrator) clock.
+
+        Used by the asynchronous engine, whose per-worker clocks have already
+        been moved individually along their own timelines.
+        """
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        self.clock_hours += hours
 
     # -- summaries -------------------------------------------------------
     def node_factor_summary(self) -> Dict[str, Dict[str, float]]:

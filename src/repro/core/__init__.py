@@ -13,6 +13,8 @@ design section:
 * :mod:`repro.core.aggregation` — ``min`` aggregation policy (§4.4).
 * :mod:`repro.core.scheduler` — node placement that never re-runs a config on
   a node it already used (§5.1).
+* :mod:`repro.core.async_engine` — discrete-event cluster simulation for
+  asynchronous batched execution: per-worker timelines, makespan accounting.
 * :mod:`repro.core.samplers` — the full TUNA pipeline plus the baselines it
   is compared against (traditional single-node sampling and naive
   distributed sampling, §6).
@@ -21,6 +23,12 @@ design section:
 """
 
 from repro.core.aggregation import AggregationPolicy, aggregate
+from repro.core.async_engine import (
+    AsyncExecutionEngine,
+    ClusterEventLoop,
+    WorkItem,
+    WorkRequest,
+)
 from repro.core.datastore import Datastore, Sample
 from repro.core.execution import ExecutionEngine
 from repro.core.multi_fidelity import SuccessiveHalvingSchedule
@@ -39,6 +47,8 @@ from repro.core.tuner import DeploymentResult, TuningLoop, TuningResult, deploy_
 
 __all__ = [
     "AggregationPolicy",
+    "AsyncExecutionEngine",
+    "ClusterEventLoop",
     "Datastore",
     "IterationReport",
     "build_sampler",
@@ -55,6 +65,8 @@ __all__ = [
     "TunaSampler",
     "TuningLoop",
     "TuningResult",
+    "WorkItem",
+    "WorkRequest",
     "aggregate",
     "deploy_configuration",
 ]

@@ -1,0 +1,267 @@
+"""Asynchronous batched cluster execution (discrete-event simulation).
+
+The paper's premise is that samples taken on *different* worker nodes run in
+parallel, yet a naive reproduction evaluates them one tuning iteration at a
+time and charges wall-clock as ``n_iterations x eval_cost``.  This module
+supplies the missing machinery:
+
+* :class:`ClusterEventLoop` — a discrete-event timeline per worker VM.
+  Submissions queue FIFO on their assigned worker; completions pop in
+  finish-time order (ties broken by submission order, so runs are exactly
+  reproducible).  Tuning wall-clock becomes the *makespan* of the busiest
+  worker instead of the sum over iterations.
+* :class:`AsyncExecutionEngine` — the request-level wrapper the tuning loop
+  drives: a :class:`WorkRequest` (one configuration, one budget, one node
+  set) is submitted as one work item per VM; the engine evaluates items
+  lazily as their completion events fire, keeps every worker's local clock
+  on its own timeline (idle gaps accrue burst credits, drift follows the
+  worker's position in simulated time), and hands back fully completed
+  requests.
+
+``lockstep=True`` reproduces the legacy sequential semantics exactly — one
+request in flight, the whole cluster advanced uniformly by the driver after
+each completion — which is the batch-size-1 equivalence gate: same seeds
+must yield bit-for-bit the same samples as the sequential loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vm import VirtualMachine
+from repro.configspace import Configuration
+from repro.core.datastore import Sample
+from repro.core.execution import ExecutionEngine
+
+
+@dataclass
+class WorkRequest:
+    """One unit of sampler work: a configuration to run on a set of nodes.
+
+    ``vms`` may be empty (e.g. a promotion whose budget is already covered by
+    reusable samples); such requests never enter the event loop and complete
+    immediately at zero wall-clock cost.
+    """
+
+    config: Configuration
+    budget: int
+    vms: List[VirtualMachine]
+    iteration: int
+    kind: str = "new"  # "new" | "promotion"
+
+    @property
+    def worker_ids(self) -> List[str]:
+        return [vm.vm_id for vm in self.vms]
+
+
+@dataclass
+class WorkItem:
+    """One sample of one request on one worker, with its scheduled times."""
+
+    request: WorkRequest
+    vm: VirtualMachine
+    start_hours: float
+    finish_hours: float
+    sequence: int
+    sample: Optional[Sample] = None
+
+
+class ClusterEventLoop:
+    """Discrete-event timeline of a worker cluster.
+
+    Every worker owns an independent ``free_at`` clock; a submitted item
+    starts at ``max(worker free_at, now)`` — it cannot start before the
+    orchestrator decided to submit it — and completion events pop in
+    ``(finish time, submission order)`` order, which makes the simulation
+    deterministic for a fixed submission sequence.
+    """
+
+    def __init__(self, cluster: Cluster, lockstep: bool = False) -> None:
+        self.cluster = cluster
+        self.lockstep = lockstep
+        self._free_at: Dict[str, float] = {vm.vm_id: 0.0 for vm in cluster.workers}
+        self._events: List[Tuple[float, int, WorkItem]] = []
+        self._sequence = 0
+        #: Simulated time of the orchestrator = finish time of the last
+        #: completion processed (monotone non-decreasing).
+        self.now = 0.0
+        #: Largest finish time processed so far — the run's wall-clock.
+        self.makespan = 0.0
+
+    # -- submit ---------------------------------------------------------------
+    def submit(self, request: WorkRequest, vm: VirtualMachine, duration_hours: float) -> WorkItem:
+        if duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        if vm.vm_id not in self._free_at:
+            raise KeyError(f"worker {vm.vm_id!r} is not part of this cluster")
+        if self.lockstep:
+            # Legacy sequential semantics: every request starts at the global
+            # clock; there is never more than one request in flight.
+            start = self.now
+        else:
+            start = max(self._free_at[vm.vm_id], self.now)
+        finish = start + duration_hours
+        self._free_at[vm.vm_id] = finish
+        item = WorkItem(request, vm, start, finish, self._sequence)
+        heapq.heappush(self._events, (finish, self._sequence, item))
+        self._sequence += 1
+        return item
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def n_in_flight(self) -> int:
+        return len(self._events)
+
+    def worker_free_at(self, vm_id: str) -> float:
+        return self._free_at[vm_id]
+
+    # -- completions ----------------------------------------------------------
+    def next_completion(self) -> WorkItem:
+        """Pop the earliest pending completion and advance ``now`` to it."""
+        if not self._events:
+            raise RuntimeError("no work in flight")
+        finish, _, item = heapq.heappop(self._events)
+        self.now = max(self.now, finish)
+        self.makespan = max(self.makespan, finish)
+        return item
+
+
+class AsyncExecutionEngine:
+    """Keeps every worker VM busy with its own timeline of sample runs.
+
+    The sampler/tuning loop submits :class:`WorkRequest`s; the engine fans
+    each out into one :class:`WorkItem` per VM, runs the underlying
+    :class:`~repro.core.execution.ExecutionEngine` lazily as completion
+    events fire (in completion order, so the measurement RNG follows the
+    cluster's simulated schedule), and returns requests once their last
+    sample has finished.
+    """
+
+    def __init__(
+        self,
+        execution: ExecutionEngine,
+        cluster: Cluster,
+        lockstep: bool = False,
+    ) -> None:
+        self.execution = execution
+        self.cluster = cluster
+        self.lockstep = lockstep
+        self.loop = ClusterEventLoop(cluster, lockstep=lockstep)
+        # Simulated time 0 corresponds to each worker's clock at engine
+        # construction; used to keep VM-local clocks on their own timelines.
+        self._clock_origin: Dict[str, float] = {
+            vm.vm_id: vm.clock_hours for vm in cluster.workers
+        }
+        self._remaining: Dict[int, int] = {}
+        self._samples: Dict[int, List[Sample]] = {}
+        self._request_ids: Dict[int, WorkRequest] = {}
+        self._next_request_id = 0
+        self._request_id_of: Dict[int, int] = {}  # item sequence -> request id
+        self.n_submitted_requests = 0
+        self.n_completed_requests = 0
+
+    # -- submit ---------------------------------------------------------------
+    @property
+    def duration_hours(self) -> float:
+        """Simulated duration of one sample run (workload + overhead)."""
+        return self.execution.wall_clock_hours_per_evaluation
+
+    def submit(self, request: WorkRequest) -> List[WorkItem]:
+        """Fan a request out into one work item per VM."""
+        if not request.vms:
+            raise ValueError(
+                "request schedules no samples; complete it inline instead of "
+                "submitting it to the event loop"
+            )
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._request_ids[request_id] = request
+        self._remaining[request_id] = len(request.vms)
+        self._samples[request_id] = []
+        items = []
+        for vm in request.vms:
+            item = self.loop.submit(request, vm, self.duration_hours)
+            self._request_id_of[item.sequence] = request_id
+            items.append(item)
+        self.n_submitted_requests += 1
+        return items
+
+    @property
+    def n_in_flight_items(self) -> int:
+        return self.loop.n_in_flight
+
+    @property
+    def n_in_flight_requests(self) -> int:
+        return self.n_submitted_requests - self.n_completed_requests
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    @property
+    def makespan_hours(self) -> float:
+        return self.loop.makespan
+
+    # -- completions ----------------------------------------------------------
+    def _evaluate(self, item: WorkItem) -> Sample:
+        vm = item.vm
+        if not self.lockstep:
+            # Bring the worker's local clock to the start of this run: idle
+            # gaps (and the per-run setup/teardown overhead) accrue burst
+            # credits and move temporal drift along the worker's own
+            # timeline.  ``measure`` itself advances the clock through the
+            # workload, and lockstep mode leaves all advancement to the
+            # driver's uniform ``cluster.advance`` instead.
+            target = self._clock_origin[vm.vm_id] + item.start_hours
+            gap = target - vm.clock_hours
+            if gap > 0:
+                vm.advance(gap)
+        sample = self.execution.evaluate_on(
+            item.request.config, vm, item.request.iteration, item.request.budget
+        )
+        item.sample = sample
+        return sample
+
+    def next_completed_request(self) -> Tuple[WorkRequest, List[Sample]]:
+        """Process completions until some request has all its samples.
+
+        Samples are evaluated in completion order (interleaved across
+        requests), which is the order the orchestrator would observe results
+        arriving from the cluster.
+        """
+        while True:
+            item = self.loop.next_completion()
+            request_id = self._request_id_of.pop(item.sequence)
+            sample = self._evaluate(item)
+            self._samples[request_id].append(sample)
+            self._remaining[request_id] -= 1
+            if self._remaining[request_id] == 0:
+                request = self._request_ids.pop(request_id)
+                samples = self._samples.pop(request_id)
+                del self._remaining[request_id]
+                self.n_completed_requests += 1
+                return request, samples
+
+    # -- teardown -------------------------------------------------------------
+    def finalize(self) -> float:
+        """Synchronise all clocks to the makespan; returns the makespan.
+
+        At the end of a run every worker has existed for the full makespan
+        even if its own timeline finished earlier, and the cluster-wide
+        clock advances by the makespan (per-worker clocks were already moved
+        individually, so only the orchestrator clock is touched).
+        """
+        if self.loop.n_in_flight:
+            raise RuntimeError("cannot finalize with work still in flight")
+        makespan = self.loop.makespan
+        if not self.lockstep:
+            for vm in self.cluster.workers:
+                target = self._clock_origin[vm.vm_id] + makespan
+                gap = target - vm.clock_hours
+                if gap > 0:
+                    vm.advance(gap)
+            self.cluster.advance_clock(makespan)
+        return makespan

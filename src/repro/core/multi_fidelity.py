@@ -22,6 +22,9 @@ class _RungEntry:
     config: Configuration
     value: float  # aggregated objective value at this rung
     promoted: bool = False
+    #: Reserved by :meth:`SuccessiveHalvingSchedule.propose_promotion` but not
+    #: yet committed — the promotion is in flight (being scheduled/evaluated).
+    pending: bool = False
 
 
 @dataclass
@@ -108,6 +111,12 @@ class SuccessiveHalvingSchedule:
         full cluster quickly.  A rung is ready when it holds at least ``eta``
         finished configurations and its best not-yet-promoted configuration
         ranks within the top ``1/eta`` of the rung.
+
+        A proposal only *reserves* the entry (it will not be proposed again
+        while in flight).  The caller must either :meth:`commit_promotion`
+        once the promotion's samples are scheduled, or
+        :meth:`rollback_promotion` if scheduling fails — otherwise the
+        configuration would be silently lost from its rung forever.
         """
         for budget in reversed(self.budgets[:-1]):
             entries = self._rungs[budget]
@@ -117,10 +126,33 @@ class SuccessiveHalvingSchedule:
             n_promotable = max(1, int(len(ranked) / self.eta))
             top = ranked[:n_promotable]
             for entry in top:
-                if not entry.promoted:
-                    entry.promoted = True
+                if not entry.promoted and not entry.pending:
+                    entry.pending = True
                     return entry.config, self.next_budget(budget)
         return None
+
+    def _pending_entry(self, config: Configuration) -> _RungEntry:
+        for budget in self.budgets[:-1]:
+            for entry in self._rungs[budget]:
+                if entry.config == config and entry.pending:
+                    return entry
+        raise KeyError(f"no pending promotion for {config!r}")
+
+    def commit_promotion(self, config: Configuration) -> None:
+        """Finalise a proposed promotion once its samples are scheduled."""
+        entry = self._pending_entry(config)
+        entry.pending = False
+        entry.promoted = True
+
+    def rollback_promotion(self, config: Configuration) -> None:
+        """Release a proposed promotion whose scheduling failed.
+
+        The entry becomes proposable again, so a transient scheduling error
+        (e.g. no free workers) does not permanently drop the configuration
+        from the successive-halving race.
+        """
+        entry = self._pending_entry(config)
+        entry.pending = False
 
     def n_pending_promotions(self) -> int:
         """How many configurations are currently eligible for promotion."""
@@ -130,5 +162,8 @@ class SuccessiveHalvingSchedule:
             if len(ranked) < self.eta:
                 continue
             n_promotable = max(1, int(len(ranked) / self.eta))
-            count += sum(1 for entry in ranked[:n_promotable] if not entry.promoted)
+            count += sum(
+                1 for entry in ranked[:n_promotable]
+                if not entry.promoted and not entry.pending
+            )
         return count

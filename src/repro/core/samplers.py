@@ -23,6 +23,7 @@ from repro.core.aggregation import (
     aggregate,
     apply_instability_penalty,
 )
+from repro.core.async_engine import WorkRequest
 from repro.core.datastore import Datastore, Sample
 from repro.core.execution import ExecutionEngine
 from repro.core.multi_fidelity import SuccessiveHalvingSchedule
@@ -48,7 +49,16 @@ class IterationReport:
 
 
 class Sampler(abc.ABC):
-    """A sampling methodology driving one tuning run."""
+    """A sampling methodology driving one tuning run.
+
+    The unit of work is a :class:`~repro.core.async_engine.WorkRequest`:
+    :meth:`propose_work` decides what to run next (ask the optimizer, pick
+    nodes), :meth:`complete_work` consumes the finished samples (aggregate,
+    tell the optimizer).  The sequential :meth:`run_iteration` composes the
+    two around an inline evaluation; the asynchronous tuning loop instead
+    submits proposals to an event loop and feeds completions back as they
+    land, keeping several requests in flight at once.
+    """
 
     name = "abstract"
 
@@ -70,8 +80,22 @@ class Sampler(abc.ABC):
         return self.execution.workload.objective
 
     @abc.abstractmethod
+    def propose_work(self, iteration: int) -> WorkRequest:
+        """Decide the next configuration/budget/node set to evaluate."""
+
+    @abc.abstractmethod
+    def complete_work(
+        self, request: WorkRequest, new_samples: List[Sample]
+    ) -> IterationReport:
+        """Consume the finished samples of a request and tell the optimizer."""
+
     def run_iteration(self, iteration: int) -> IterationReport:
-        """Evaluate one optimizer suggestion and report back to it."""
+        """Evaluate one optimizer suggestion synchronously and report back."""
+        request = self.propose_work(iteration)
+        new_samples = self.execution.evaluate_on_many(
+            request.config, request.vms, iteration, request.budget
+        )
+        return self.complete_work(request, new_samples)
 
     @abc.abstractmethod
     def best_configuration(self) -> Tuple[Configuration, float]:
@@ -100,15 +124,20 @@ class TraditionalSampler(Sampler):
             raise ValueError("worker_index out of range")
         self.worker = cluster.workers[worker_index]
 
-    def run_iteration(self, iteration: int) -> IterationReport:
-        config = self.optimizer.ask()
-        sample = self.execution.evaluate_on(config, self.worker, iteration, budget=1)
+    def propose_work(self, iteration: int) -> WorkRequest:
+        config = self.optimizer.ask_batch(1)[0]
+        return WorkRequest(config, budget=1, vms=[self.worker], iteration=iteration)
+
+    def complete_work(
+        self, request: WorkRequest, new_samples: List[Sample]
+    ) -> IterationReport:
+        (sample,) = new_samples
         self.datastore.add(sample)
         cost = objective_to_cost(sample.value, self.objective)
-        self.optimizer.tell(config, cost, budget=1)
+        self.optimizer.tell(request.config, cost, budget=1)
         return IterationReport(
-            iteration=iteration,
-            config=config,
+            iteration=request.iteration,
+            config=request.config,
             budget=1,
             reported_value=sample.value,
             raw_values=[sample.value],
@@ -146,25 +175,32 @@ class NaiveDistributedSampler(Sampler):
         self.aggregation = aggregation
         self._catalog: Dict[Configuration, float] = {}
 
-    def run_iteration(self, iteration: int) -> IterationReport:
-        config = self.optimizer.ask()
-        budget = self.cluster.n_workers
-        samples = self.execution.evaluate_on_many(
-            config, self.cluster.workers, iteration, budget=budget
+    def propose_work(self, iteration: int) -> WorkRequest:
+        config = self.optimizer.ask_batch(1)[0]
+        return WorkRequest(
+            config,
+            budget=self.cluster.n_workers,
+            vms=list(self.cluster.workers),
+            iteration=iteration,
         )
-        self.datastore.extend(samples)
-        values = [s.value for s in samples]
+
+    def complete_work(
+        self, request: WorkRequest, new_samples: List[Sample]
+    ) -> IterationReport:
+        config, budget = request.config, request.budget
+        self.datastore.extend(new_samples)
+        values = [s.value for s in new_samples]
         agg = aggregate(values, self.objective, self.aggregation)
         self._catalog[config] = agg
         self.optimizer.tell(config, objective_to_cost(agg, self.objective), budget=budget)
         return IterationReport(
-            iteration=iteration,
+            iteration=request.iteration,
             config=config,
             budget=budget,
             reported_value=agg,
             raw_values=values,
             unstable=False,
-            n_new_samples=len(samples),
+            n_new_samples=len(new_samples),
             wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
             details={},
         )
@@ -190,6 +226,9 @@ class TunaSampler(Sampler):
     budgets:
         Successive-halving node budgets; the top budget must not exceed the
         cluster size.
+    eta:
+        Successive-halving promotion ratio (top ``1/eta`` of a rung moves
+        up); the schedule's default when ``None``.
     """
 
     name = "tuna"
@@ -201,6 +240,7 @@ class TunaSampler(Sampler):
         cluster: Cluster,
         seed: Optional[int] = None,
         budgets: Tuple[int, ...] = (1, 3, 10),
+        eta: Optional[float] = None,
         aggregation: AggregationPolicy = AggregationPolicy.MIN,
         outlier_threshold: float = 0.30,
         use_noise_adjuster: bool = True,
@@ -209,8 +249,9 @@ class TunaSampler(Sampler):
         super().__init__(optimizer, execution, cluster, seed=seed)
         if budgets[-1] > cluster.n_workers:
             raise ValueError("maximum budget cannot exceed the cluster size")
+        schedule_kwargs = {} if eta is None else {"eta": eta}
         self.schedule = SuccessiveHalvingSchedule(
-            objective=self.objective, budgets=budgets
+            objective=self.objective, budgets=budgets, **schedule_kwargs
         )
         self.scheduler = MultiFidelityTaskScheduler(
             cluster, seed=int(self._rng.integers(0, 2**31 - 1))
@@ -225,13 +266,28 @@ class TunaSampler(Sampler):
         )
         self._catalog: Dict[Configuration, Tuple[int, float]] = {}  # budget, value
         self._unstable_configs: set = set()
+        # Workers currently running in-flight samples of a configuration
+        # (asynchronous mode); they count towards the configuration's budget
+        # and must never receive another sample of it.
+        self._in_flight: Dict[Configuration, List[str]] = {}
 
     # ------------------------------------------------------------------ steps
-    def _propose(self) -> Tuple[Configuration, int]:
+    def _propose(self) -> Tuple[Configuration, int, str]:
         promotion = self.schedule.propose_promotion()
         if promotion is not None:
-            return promotion
-        return self.optimizer.ask(), self.schedule.min_budget
+            config, budget = promotion
+            return config, budget, "promotion"
+        config = self.optimizer.ask_batch(1)[0]
+        # With several requests in flight the optimizer can re-suggest a
+        # configuration whose samples have not landed yet.  The constant-liar
+        # fantasy recorded by the duplicate ask steers the next suggestion
+        # elsewhere, so retrying converges quickly; all fantasies for the
+        # configuration are retracted together when its real result arrives.
+        for _ in range(4):
+            if config not in self._in_flight:
+                break
+            config = self.optimizer.ask_batch(1)[0]
+        return config, self.schedule.min_budget, "new"
 
     def _adjust_samples(self, samples: List[Sample], unstable: bool) -> List[float]:
         adjusted = []
@@ -255,14 +311,82 @@ class TunaSampler(Sampler):
         if groups:
             self.noise_adjuster.train(groups)
 
-    def run_iteration(self, iteration: int) -> IterationReport:
-        config, budget = self._propose()
+    def propose_work(self, iteration: int) -> WorkRequest:
+        config, budget, kind = self._propose()
 
+        in_flight = list(self._in_flight.get(config, []))
+        if kind == "promotion" and in_flight:
+            # Promotion decisions must rest on landed samples only: counting
+            # unlanded duplicates towards the budget would record the higher
+            # rung from fewer distinct-node results than it claims.  Defer —
+            # the async driver drains a completion and retries.
+            self.schedule.rollback_promotion(config)
+            raise RuntimeError(
+                f"promotion deferred: samples of {config!r} are still in flight"
+            )
         used_workers = self.datastore.workers_used(config)
-        vms = self.scheduler.assign(config, budget, used_workers)
-        new_samples = self.execution.evaluate_on_many(config, vms, iteration, budget)
+        try:
+            vms = self.scheduler.assign(config, budget, used_workers + in_flight)
+            if not vms and not used_workers:
+                # Every sample counting towards the budget is still in
+                # flight, so there is nothing to aggregate yet; schedule one
+                # genuine sample on a fresh node instead of reporting on an
+                # empty set.
+                vms = self.scheduler.assign(
+                    config,
+                    min(len(in_flight) + 1, self.scheduler.n_workers),
+                    in_flight,
+                )
+                if not vms:
+                    # In-flight duplicates already occupy every worker; an
+                    # empty request would complete with nothing to report.
+                    # Defer until they land.
+                    raise RuntimeError(
+                        f"proposal deferred: every worker already runs an "
+                        f"in-flight sample of {config!r}"
+                    )
+        except (RuntimeError, ValueError):
+            # Promotion is transactional: scheduling failed, so release the
+            # reservation and leave the configuration proposable in its rung
+            # rather than silently dropping it from the race (the async
+            # driver retries once in-flight work frees workers).  A failed
+            # new suggestion likewise retracts the one fantasy this proposal
+            # recorded — not every fantasy for the configuration, which
+            # would strip the lie still guarding an in-flight duplicate.
+            if kind == "promotion":
+                self.schedule.rollback_promotion(config)
+            else:
+                self.optimizer.retract_fantasy(config)
+            raise
+        if kind == "promotion":
+            self.schedule.commit_promotion(config)
+
+        worker_ids = [vm.vm_id for vm in vms]
+        if worker_ids:
+            self._in_flight.setdefault(config, []).extend(worker_ids)
+            self.scheduler.reserve(worker_ids)
+        return WorkRequest(config, budget, vms, iteration, kind=kind)
+
+    def complete_work(
+        self, request: WorkRequest, new_samples: List[Sample]
+    ) -> IterationReport:
+        config, budget = request.config, request.budget
+        worker_ids = request.worker_ids
+        if worker_ids:
+            self.scheduler.release(worker_ids)
+            in_flight = self._in_flight.get(config, [])
+            for worker_id in worker_ids:
+                if worker_id in in_flight:
+                    in_flight.remove(worker_id)
+            if not in_flight:
+                self._in_flight.pop(config, None)
+
         self.datastore.extend(new_samples)
         all_samples = self.datastore.samples_for(config)
+        if not all_samples:
+            raise RuntimeError(
+                f"request for {config!r} completed without any samples to report"
+            )
 
         unstable = False
         if self.use_outlier_detector:
@@ -284,15 +408,23 @@ class TunaSampler(Sampler):
         if budget == self.schedule.max_budget and not unstable:
             self._retrain_noise_adjuster()
 
+        # Samples on different nodes run in parallel, so a request costs one
+        # evaluation of wall-clock — unless it scheduled nothing (a promotion
+        # fully covered by reused samples), which is free: charging it a full
+        # evaluation would skew the equal-cost comparison of §6.5.
+        wall_clock_hours = (
+            self.execution.wall_clock_hours_per_evaluation if new_samples else 0.0
+        )
+
         return IterationReport(
-            iteration=iteration,
+            iteration=request.iteration,
             config=config,
             budget=budget,
             reported_value=agg,
             raw_values=[s.value for s in all_samples],
             unstable=unstable,
             n_new_samples=len(new_samples),
-            wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
+            wall_clock_hours=wall_clock_hours,
             details={
                 "adjusted_values": adjusted_values,
                 "model_generation": self.noise_adjuster.generation,

@@ -26,10 +26,36 @@ class MultiFidelityTaskScheduler:
         self._rng = np.random.default_rng(seed)
         # Load balancing: how many samples each worker has executed so far.
         self._load: Dict[str, int] = {vm.vm_id: 0 for vm in cluster.workers}
+        # In-flight reservations: how many submitted-but-unfinished samples
+        # each worker currently holds (asynchronous mode).  Reserved workers
+        # are deprioritised by :meth:`assign` so new samples land on idle
+        # nodes first and the cluster stays uniformly busy.
+        self._reserved: Dict[str, int] = {vm.vm_id: 0 for vm in cluster.workers}
 
     @property
     def n_workers(self) -> int:
         return self.cluster.n_workers
+
+    # -- in-flight reservations ---------------------------------------------
+    def reserve(self, worker_ids: Sequence[str]) -> None:
+        """Mark workers as running in-flight samples (one reservation each)."""
+        for worker_id in worker_ids:
+            if worker_id not in self._reserved:
+                raise KeyError(f"unknown worker {worker_id!r}")
+            self._reserved[worker_id] += 1
+
+    def release(self, worker_ids: Sequence[str]) -> None:
+        """Release reservations taken out by :meth:`reserve`."""
+        for worker_id in worker_ids:
+            if worker_id not in self._reserved:
+                raise KeyError(f"unknown worker {worker_id!r}")
+            if self._reserved[worker_id] <= 0:
+                raise RuntimeError(f"worker {worker_id!r} has no reservation to release")
+            self._reserved[worker_id] -= 1
+
+    def n_reserved(self) -> int:
+        """Total in-flight sample reservations across the cluster."""
+        return sum(self._reserved.values())
 
     def eligible_workers(
         self, config: Configuration, already_used: Sequence[str]
@@ -66,9 +92,17 @@ class MultiFidelityTaskScheduler:
                 "not enough unused workers to honour the budget: "
                 f"need {needed}, have {len(eligible)}"
             )
-        # Least-loaded first; ties broken randomly for even spread.
+        # Idle workers first, then least historical load; ties broken
+        # randomly for even spread.  Reserved (in-flight) workers are still
+        # eligible — samples queue on their timeline — but only as a last
+        # resort, so asynchronous batches fan out across idle nodes.
         order = sorted(
-            eligible, key=lambda vm: (self._load[vm.vm_id], self._rng.random())
+            eligible,
+            key=lambda vm: (
+                self._reserved[vm.vm_id],
+                self._load[vm.vm_id],
+                self._rng.random(),
+            ),
         )
         chosen = order[:needed]
         for vm in chosen:

@@ -16,9 +16,10 @@ import numpy as np
 
 from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
+from repro.core.async_engine import AsyncExecutionEngine
 from repro.core.execution import ExecutionEngine
 from repro.core.samplers import IterationReport, Sampler
-from repro.ml.metrics import coefficient_of_variation
+from repro.ml.metrics import coefficient_of_variation, relative_range
 from repro.systems.base import SystemUnderTest
 from repro.workloads.base import Workload
 
@@ -84,12 +85,46 @@ class DeploymentResult:
 
     @property
     def relative_range(self) -> float:
-        values = np.asarray(self.values, dtype=float)
-        return float((values.max() - values.min()) / values.mean())
+        """Relative range, by the same definition the outlier detector uses.
+
+        A single deployment value carries no spread information, so — like
+        :meth:`repro.core.outlier.OutlierDetector.is_unstable_values` — it
+        reports zero rather than dividing a degenerate range by the mean
+        (and a zero mean raises, exactly as in
+        :func:`repro.ml.metrics.relative_range`).
+        """
+        if len(self.values) < 2:
+            return 0.0
+        return relative_range(self.values)
 
 
 class TuningLoop:
-    """Runs a sampler for a fixed number of iterations or wall-clock budget."""
+    """Runs a sampler for a fixed number of iterations or wall-clock budget.
+
+    Parameters
+    ----------
+    batch_size:
+        In-flight sample watermark.  ``None`` (default) runs the legacy
+        sequential loop: one request per iteration, the whole cluster
+        advanced uniformly between iterations.  Any integer ``>= 1`` drives
+        the asynchronous engine instead; ``batch_size=1`` is the synchronous
+        degenerate mode and reproduces the sequential trajectory bit-for-bit
+        under the same seeds, while larger batches keep every worker busy on
+        its own timeline, so the run's wall-clock is the makespan of the
+        busiest worker rather than ``n_iterations x eval_cost``.  The
+        watermark gates *submission*, not admission: a request is submitted
+        whole, so a multi-node request entering below the watermark may
+        momentarily push the in-flight count above it (a hard cap would
+        deadlock any request wider than the remaining window).
+    """
+
+    #: Abort after this many *consecutive* iterations that schedule no new
+    #: samples.  Such iterations cost no wall-clock and collect no samples,
+    #: so they advance no stopping criterion; a sampler stuck re-proposing
+    #: fully-covered configurations would otherwise spin forever.  Genuine
+    #: zero-sample events (promotions covered by reused samples, the odd
+    #: duplicate suggestion) never cluster anywhere near this bound.
+    MAX_ZERO_PROGRESS_ITERATIONS = 32
 
     def __init__(
         self,
@@ -97,6 +132,7 @@ class TuningLoop:
         n_iterations: Optional[int] = None,
         wall_clock_hours: Optional[float] = None,
         max_samples: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if n_iterations is None and wall_clock_hours is None and max_samples is None:
             raise ValueError(
@@ -105,10 +141,13 @@ class TuningLoop:
             )
         if n_iterations is not None and n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.sampler = sampler
         self.n_iterations = n_iterations
         self.wall_clock_hours = wall_clock_hours
         self.max_samples = max_samples
+        self.batch_size = batch_size
 
     def _should_stop(self, iteration: int, hours: float, samples: int) -> bool:
         if self.n_iterations is not None and iteration >= self.n_iterations:
@@ -119,11 +158,30 @@ class TuningLoop:
             return True
         return False
 
+    def _track_progress(self, report: IterationReport, streak: int) -> int:
+        """Update (and bound) the consecutive zero-progress iteration count."""
+        if report.n_new_samples > 0:
+            return 0
+        streak += 1
+        if streak > self.MAX_ZERO_PROGRESS_ITERATIONS:
+            raise RuntimeError(
+                f"{streak} consecutive iterations scheduled no new samples; "
+                "the sampler keeps re-proposing fully-covered configurations "
+                "and the run would never reach its stopping criterion"
+            )
+        return streak
+
     def run(self) -> TuningResult:
+        if self.batch_size is not None:
+            return self._run_async(self.batch_size)
+        return self._run_sequential()
+
+    def _run_sequential(self) -> TuningResult:
         history: List[IterationReport] = []
         hours = 0.0
         samples = 0
         iteration = 0
+        zero_streak = 0
         workload = self.sampler.execution.workload
         while not self._should_stop(iteration, hours, samples):
             report = self.sampler.run_iteration(iteration)
@@ -133,7 +191,12 @@ class TuningLoop:
             hours += report.wall_clock_hours
             samples += report.n_new_samples
             iteration += 1
-            self.sampler.cluster.advance(report.wall_clock_hours)
+            zero_streak = self._track_progress(report, zero_streak)
+            # A request that scheduled no new samples consumed no time, so
+            # the per-worker clocks must not move (re-advancing them would
+            # shift every later measurement's drift and credit state).
+            if report.wall_clock_hours > 0:
+                self.sampler.cluster.advance(report.wall_clock_hours)
 
         best_config, best_value = self.sampler.best_configuration()
         return TuningResult(
@@ -146,6 +209,96 @@ class TuningLoop:
             n_iterations=iteration,
             n_samples=samples,
             wall_clock_hours=hours,
+        )
+
+    def _run_async(self, batch_size: int) -> TuningResult:
+        """Drive the sampler through the asynchronous execution engine.
+
+        Proposals are submitted while in-flight capacity remains and no
+        stopping criterion has tripped; completions are fed back to the
+        sampler as they land (in completion order, which for batches > 1
+        interleaves requests).  Once a criterion trips, in-flight work is
+        drained — matching a real cluster, where started benchmarks finish.
+        ``batch_size=1`` runs the engine in lockstep mode: one request in
+        flight and uniform cluster advancement, reproducing the sequential
+        loop exactly.
+        """
+        lockstep = batch_size == 1
+        engine = AsyncExecutionEngine(
+            self.sampler.execution, self.sampler.cluster, lockstep=lockstep
+        )
+        history: List[IterationReport] = []
+        hours = 0.0
+        samples = 0
+        submitted = 0
+        submitted_samples = 0
+        completed = 0
+        workload = self.sampler.execution.workload
+
+        zero_streak = 0
+
+        def handle(report: IterationReport) -> None:
+            nonlocal samples, completed, zero_streak
+            report.details.setdefault("objective_unit", workload.objective.unit)
+            report.details.setdefault("higher_is_better", workload.higher_is_better)
+            history.append(report)
+            samples += report.n_new_samples
+            completed += 1
+            zero_streak = self._track_progress(report, zero_streak)
+
+        while True:
+            # Fill the in-flight window.  Submission is gated on *submitted*
+            # work (samples already in flight count towards the budget), so
+            # a large batch does not overshoot ``max_samples`` while the
+            # final samples are still running.
+            while engine.n_in_flight_items < batch_size and not self._should_stop(
+                submitted, hours, submitted_samples
+            ):
+                try:
+                    request = self.sampler.propose_work(submitted)
+                except RuntimeError:
+                    if engine.n_in_flight_items > 0:
+                        # Scheduling failed (the sampler already rolled back
+                        # any promotion reservation); draining in-flight work
+                        # frees workers, so retry after the next completion.
+                        break
+                    raise
+                submitted += 1
+                if not request.vms:
+                    # Nothing to run (budget covered by reused samples):
+                    # complete inline at zero wall-clock cost.
+                    handle(self.sampler.complete_work(request, []))
+                    continue
+                submitted_samples += len(request.vms)
+                engine.submit(request)
+            if engine.n_in_flight_items == 0:
+                break
+            request, new_samples = engine.next_completed_request()
+            report = self.sampler.complete_work(request, new_samples)
+            handle(report)
+            if lockstep:
+                hours += report.wall_clock_hours
+                if report.wall_clock_hours > 0:
+                    self.sampler.cluster.advance(report.wall_clock_hours)
+            else:
+                hours = engine.makespan_hours
+
+        if lockstep:
+            wall_clock = hours
+        else:
+            wall_clock = engine.finalize()
+
+        best_config, best_value = self.sampler.best_configuration()
+        return TuningResult(
+            sampler_name=self.sampler.name,
+            workload_name=workload.name,
+            best_config=best_config,
+            best_catalog_value=best_value,
+            higher_is_better=workload.higher_is_better,
+            history=history,
+            n_iterations=completed,
+            n_samples=samples,
+            wall_clock_hours=wall_clock,
         )
 
 

@@ -42,17 +42,48 @@ class OptimizerObservation:
 
 
 class Optimizer(abc.ABC):
-    """Sequential model-based optimizer with an ask/tell interface."""
+    """Sequential model-based optimizer with an ask/tell interface.
+
+    Batched/asynchronous callers use :meth:`ask_batch`, which records a
+    *pending fantasy* (constant-liar observation) for every suggestion so
+    that several configurations can be in flight at once without the
+    acquisition function collapsing onto a single point.  Fantasies live in
+    a separate list and are retracted automatically when the real result is
+    reported via :meth:`tell`.
+    """
 
     def __init__(self, space: ConfigurationSpace, seed: Optional[int] = None) -> None:
         self.space = space
         self._rng = np.random.default_rng(seed)
         self.observations: List[OptimizerObservation] = []
+        #: In-flight constant-liar observations, retracted on the real tell.
+        self._pending: List[OptimizerObservation] = []
+        #: Monotonic fingerprint of the training data (real + pending);
+        #: bumped by every tell/fantasize/retract so surrogate caches can
+        #: key on it.
+        self._data_version = 0
 
     # -- interface -------------------------------------------------------
     @abc.abstractmethod
     def ask(self) -> Configuration:
         """Suggest the next configuration to evaluate."""
+
+    def ask_batch(self, n: int) -> List[Configuration]:
+        """Suggest ``n`` configurations to run concurrently.
+
+        After each suggestion a constant-liar fantasy is recorded, so later
+        suggestions in the batch (and later batches, while results are still
+        in flight) see the earlier ones as already evaluated and spread out
+        instead of piling onto the current acquisition maximum.
+        """
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        configs: List[Configuration] = []
+        for _ in range(n):
+            config = self.ask()
+            self.fantasize(config)
+            configs.append(config)
+        return configs
 
     def tell(
         self,
@@ -61,16 +92,70 @@ class Optimizer(abc.ABC):
         budget: float = 1.0,
         metadata: Optional[Dict] = None,
     ) -> None:
-        """Report the cost observed for a configuration."""
+        """Report the cost observed for a configuration.
+
+        Any pending fantasies for the configuration are retracted first: the
+        real observation replaces the lie.
+        """
         if not np.isfinite(cost):
             raise ValueError("cost must be finite; penalise crashes before telling")
+        self.retract_fantasy(config, all_matching=True)
         self.observations.append(
             OptimizerObservation(config, float(cost), float(budget), metadata or {})
         )
+        self._data_version += 1
+
+    # -- in-flight fantasies ---------------------------------------------------
+    def fantasize(self, config: Configuration, budget: float = 1.0) -> OptimizerObservation:
+        """Record a constant-liar observation for an in-flight configuration.
+
+        The lie is the best (lowest) cost seen so far — the aggressive
+        "constant liar min" strategy — which collapses the acquisition
+        function around the pending point and steers subsequent asks away
+        from it.  With no real observations yet the lie is the best pending
+        cost, or 0.0 for a completely cold optimizer (harmless: asks fall
+        back to random sampling until two real observations exist).
+        """
+        pool = self.observations or self._pending
+        lie = min((obs.cost for obs in pool), default=0.0)
+        observation = OptimizerObservation(
+            config, float(lie), float(budget), {"fantasy": True}
+        )
+        self._pending.append(observation)
+        self._data_version += 1
+        return observation
+
+    def retract_fantasy(self, config: Configuration, all_matching: bool = False) -> bool:
+        """Drop pending fantasies for ``config``; returns whether any existed."""
+        found = False
+        remaining: List[OptimizerObservation] = []
+        for obs in self._pending:
+            if obs.config == config and (all_matching or not found):
+                found = True
+                continue
+            remaining.append(obs)
+        if found:
+            self._pending = remaining
+            self._data_version += 1
+        return found
+
+    @property
+    def pending_fantasies(self) -> List[OptimizerObservation]:
+        return list(self._pending)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def data_version(self) -> int:
+        """Cheap fingerprint of the training data (real + pending lies)."""
+        return self._data_version
 
     # -- shared helpers -------------------------------------------------------
     @property
     def n_observations(self) -> int:
+        """Number of *real* observations (pending fantasies excluded)."""
         return len(self.observations)
 
     def best_observation(self) -> OptimizerObservation:
@@ -82,16 +167,23 @@ class Optimizer(abc.ABC):
         return min(candidates, key=lambda obs: obs.cost)
 
     def _training_data(self) -> tuple:
-        """Encode observations for surrogate fitting.
+        """Encode observations (real + pending fantasies) for surrogate fitting.
 
         If a configuration has been observed at several budgets, only its
         highest-budget observation is kept (the most trustworthy one), and
-        within the same budget the most recent observation wins.
+        within the same budget the most recent observation wins.  Pending
+        constant-liar fantasies make in-flight configurations look evaluated
+        to the surrogate, but a lie never shadows a real observation of the
+        same configuration — the lie is the global best cost, which would
+        pull the acquisition *towards* the pending point instead of away.
         """
         best_per_config: Dict[Configuration, OptimizerObservation] = {}
         for obs in self.observations:
             existing = best_per_config.get(obs.config)
             if existing is None or obs.budget >= existing.budget:
+                best_per_config[obs.config] = obs
+        for obs in self._pending:
+            if obs.config not in best_per_config:
                 best_per_config[obs.config] = obs
         configs = list(best_per_config.keys())
         X = self.space.encode_batch(configs)

@@ -41,8 +41,12 @@ class GaussianProcessOptimizer(Optimizer):
             self._initial_served += 1
             return self.space.sample(self._rng)
         if self.n_observations < 2:
+            # Not enough *real* data for a GP fit; pending constant-liar
+            # fantasies alone carry no signal worth modelling.
             return self.space.sample(self._rng)
 
+        # Training data includes pending fantasies, so batched asks spread
+        # out instead of collapsing onto the current EI maximum.
         X, y, configs = self._training_data()
         gp = GaussianProcessRegressor(
             kernel=Matern52Kernel(length_scale=self.length_scale),

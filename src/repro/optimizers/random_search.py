@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.configspace import Configuration, ConfigurationSpace
 from repro.optimizers.base import Optimizer
@@ -16,3 +16,10 @@ class RandomSearchOptimizer(Optimizer):
 
     def ask(self) -> Configuration:
         return self.space.sample(self._rng)
+
+    def ask_batch(self, n: int) -> List[Configuration]:
+        # Random suggestions are independent of the observation history, so
+        # no constant-liar fantasies are needed to keep a batch diverse.
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        return [self.ask() for _ in range(n)]

@@ -62,10 +62,10 @@ class SMACOptimizer(Optimizer):
             list(initial_design) if initial_design is not None else []
         )
         self._initial_served = 0
-        self._asked_pending: List[Configuration] = []
-        # Fitted surrogate keyed on observation count: back-to-back ask()
-        # calls without an intervening tell() reuse the forest instead of
-        # refitting all n_trees trees on identical data.
+        # Fitted surrogate keyed on the optimizer's data version (bumped by
+        # every tell/fantasize/retract): back-to-back ask() calls without an
+        # intervening data change reuse the forest instead of refitting all
+        # n_trees trees on identical data.
         self._surrogate_cache = SurrogateCache()
 
     # -- initial design ------------------------------------------------------
@@ -81,7 +81,7 @@ class SMACOptimizer(Optimizer):
 
     # -- surrogate ------------------------------------------------------
     def _fit_surrogate(self) -> tuple:
-        cached = self._surrogate_cache.get(self.n_observations)
+        cached = self._surrogate_cache.get(self.data_version)
         if cached is not None:
             return cached
         X, y, configs = self._training_data()
@@ -94,7 +94,7 @@ class SMACOptimizer(Optimizer):
         )
         forest.fit(X, y)
         fitted = (forest, X, y, configs)
-        self._surrogate_cache.put(self.n_observations, fitted)
+        self._surrogate_cache.put(self.data_version, fitted)
         return fitted
 
     def _candidate_pool(self, configs: List[Configuration], y: np.ndarray) -> List[Configuration]:

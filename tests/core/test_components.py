@@ -212,6 +212,29 @@ class TestSuccessiveHalving:
         assert first is not None
         assert schedule.propose_promotion() is None  # only top 1/3 promotable
 
+    def test_rollback_makes_proposal_available_again(self):
+        schedule = self._schedule()
+        space = tiny_space()
+        for i in range(1, 4):
+            schedule.record(space.partial_configuration(x=0.1 * i), 1, 100.0 * i)
+        config, budget = schedule.propose_promotion()
+        assert schedule.n_pending_promotions() == 0  # reserved while in flight
+        schedule.rollback_promotion(config)
+        assert schedule.n_pending_promotions() == 1
+        again = schedule.propose_promotion()
+        assert again == (config, budget)
+
+    def test_commit_finalises_the_promotion(self):
+        schedule = self._schedule()
+        space = tiny_space()
+        for i in range(1, 4):
+            schedule.record(space.partial_configuration(x=0.1 * i), 1, 100.0 * i)
+        config, _ = schedule.propose_promotion()
+        schedule.commit_promotion(config)
+        assert schedule.propose_promotion() is None
+        with pytest.raises(KeyError):  # nothing pending any more
+            schedule.rollback_promotion(config)
+
     def test_record_updates_existing_entry(self):
         schedule = self._schedule()
         config = tiny_space().default_configuration()
@@ -277,6 +300,34 @@ class TestScheduler:
             scheduler.assign(config, 1, [])
         loads = scheduler.load_snapshot()
         assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_reserved_workers_assigned_last(self):
+        cluster = Cluster(n_workers=4, seed=0)
+        scheduler = MultiFidelityTaskScheduler(cluster, seed=0)
+        space = tiny_space()
+        scheduler.reserve(["worker-0", "worker-1", "worker-2"])
+        chosen = scheduler.assign(space.partial_configuration(x=0.1), 1, [])
+        assert chosen[0].vm_id == "worker-3"  # the only idle worker
+        # With every idle worker exhausted, reserved ones are still eligible
+        # (their queue just grows).
+        chosen = scheduler.assign(
+            space.partial_configuration(x=0.1), 2, ["worker-3"]
+        )
+        assert chosen[0].vm_id in {"worker-0", "worker-1", "worker-2"}
+
+    def test_reserve_release_bookkeeping(self):
+        cluster = Cluster(n_workers=2, seed=0)
+        scheduler = MultiFidelityTaskScheduler(cluster, seed=0)
+        scheduler.reserve(["worker-0", "worker-0", "worker-1"])
+        assert scheduler.n_reserved() == 3
+        scheduler.release(["worker-0", "worker-1"])
+        assert scheduler.n_reserved() == 1
+        with pytest.raises(RuntimeError):
+            scheduler.release(["worker-1"])  # nothing left to release
+        with pytest.raises(KeyError):
+            scheduler.reserve(["worker-x"])
+        with pytest.raises(KeyError):
+            scheduler.release(["worker-x"])
 
     def test_record_external_load(self):
         cluster = Cluster(n_workers=2, seed=0)

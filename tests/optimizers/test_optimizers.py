@@ -228,6 +228,102 @@ class TestGaussianProcessOptimizer:
         assert opt.n_observations == 4
 
 
+class TestAskBatchFantasies:
+    def _warm(self, cls=SMACOptimizer, seed=4, **kwargs):
+        if cls is SMACOptimizer:
+            kwargs.setdefault("n_initial_design", 2)
+            kwargs.setdefault("n_candidates", 40)
+            kwargs.setdefault("n_local", 10)
+        opt = cls(make_space(seed=seed), seed=seed, **kwargs)
+        for _ in range(6):
+            config = opt.ask()
+            opt.tell(config, quadratic_cost(config))
+        return opt
+
+    def test_ask_batch_records_one_fantasy_per_suggestion(self):
+        opt = self._warm()
+        batch = opt.ask_batch(3)
+        assert len(batch) == 3
+        assert opt.n_pending == 3
+        assert [obs.config for obs in opt.pending_fantasies] == batch
+        assert opt.n_observations == 6  # real observations untouched
+
+    def test_fantasy_lie_is_the_best_cost_seen(self):
+        opt = self._warm()
+        best = min(obs.cost for obs in opt.observations)
+        fantasy = opt.fantasize(make_space(seed=9).sample())
+        assert fantasy.cost == pytest.approx(best)
+        assert fantasy.metadata["fantasy"] is True
+
+    def test_tell_retracts_the_fantasy(self):
+        opt = self._warm()
+        (config,) = opt.ask_batch(1)
+        assert opt.n_pending == 1
+        opt.tell(config, quadratic_cost(config))
+        assert opt.n_pending == 0
+        assert opt.observations[-1].config == config
+        assert not opt.observations[-1].metadata.get("fantasy")
+
+    def test_tell_retracts_all_fantasies_for_a_config(self):
+        opt = self._warm()
+        config = make_space(seed=9).sample()
+        opt.fantasize(config)
+        opt.fantasize(config)
+        opt.tell(config, 0.5)
+        assert opt.n_pending == 0
+
+    def test_retract_fantasy_without_tell(self):
+        opt = self._warm()
+        config = make_space(seed=9).sample()
+        opt.fantasize(config)
+        assert opt.retract_fantasy(config) is True
+        assert opt.retract_fantasy(config) is False
+        assert opt.n_pending == 0
+
+    def test_pending_fantasies_enter_training_data(self):
+        opt = self._warm()
+        config = make_space(seed=9).sample()
+        opt.fantasize(config)
+        _, _, configs = opt._training_data()
+        assert config in configs
+
+    def test_batch_suggestions_spread_out(self):
+        opt = self._warm()
+        batch = opt.ask_batch(4)
+        keys = {tuple(sorted(c.as_dict().items())) for c in batch}
+        assert len(keys) >= 2
+
+    def test_random_search_batches_without_fantasies(self):
+        opt = RandomSearchOptimizer(make_space(), seed=0)
+        batch = opt.ask_batch(5)
+        assert len(batch) == 5
+        assert opt.n_pending == 0
+        assert len({tuple(sorted(c.as_dict().items())) for c in batch}) == 5
+
+    def test_gp_ask_batch(self):
+        opt = self._warm(GaussianProcessOptimizer, n_initial_design=2, n_candidates=50)
+        batch = opt.ask_batch(3)
+        assert len(batch) == 3
+        assert opt.n_pending == 3
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            RandomSearchOptimizer(make_space(), seed=0).ask_batch(0)
+        with pytest.raises(ValueError):
+            self._warm().ask_batch(0)
+
+    def test_data_version_tracks_every_change(self):
+        opt = RandomSearchOptimizer(make_space(), seed=0)
+        v0 = opt.data_version
+        config = opt.ask()
+        assert opt.data_version == v0  # asks alone change nothing
+        opt.fantasize(config)
+        v1 = opt.data_version
+        assert v1 > v0
+        opt.tell(config, 1.0)  # retract + append
+        assert opt.data_version > v1
+
+
 class TestSMACSurrogateCache:
     def _warm_optimizer(self):
         opt = SMACOptimizer(make_space(seed=4), seed=4, n_initial_design=2, n_candidates=40, n_local=10)

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Async-execution microbenchmark smoke run: prints sequential vs 10-worker
+# asynchronous simulated wall-clock for the same sample budget, asserts the
+# makespan speedup stays >= 5x, and re-checks the batch-size-1 equivalence
+# gate (async lockstep mode == sequential loop, bit for bit).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest benchmarks/test_bench_async_engine.py -q -s "$@"

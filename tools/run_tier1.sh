@@ -5,4 +5,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Performance-gate smoke run first: it is fast, and a regression in a guarded
+# property (async makespan speedup, batch-size-1 equivalence) should fail the
+# gate before the long figure benchmarks start.
+python -m pytest benchmarks/test_bench_async_engine.py -x -q
+
+# Full suite (collects tests/ and benchmarks/, including the smoke run above).
 exec python -m pytest -x -q "$@"
