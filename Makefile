@@ -1,12 +1,14 @@
-# Convenience entry points for the tier-1 gate and benchmarks.
+# Convenience entry points for the tier-1 gate, lint and benchmarks.
 #
 #   make test             tier-1 gate (full test + benchmark suite, -x -q)
 #   make test-fast        unit tests only (skips the figure benchmarks)
+#   make lint             ruff check over src, tests and benchmarks
 #   make bench-surrogate  surrogate-inference throughput microbenchmark
 #   make bench-async      async batched execution makespan microbenchmark
-#   make bench            all figure benchmarks
+#   make bench-hetero     heterogeneous-fleet placement microbenchmark
+#   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast bench bench-surrogate bench-async
+.PHONY: test test-fast lint bench bench-surrogate bench-async bench-hetero
 
 test:
 	./tools/run_tier1.sh
@@ -14,11 +16,17 @@ test:
 test-fast:
 	PYTHONPATH=src python -m pytest tests -x -q
 
+lint:
+	ruff check src tests benchmarks
+
 bench-surrogate:
 	./tools/run_surrogate_bench.sh
 
 bench-async:
 	./tools/run_async_bench.sh
+
+bench-hetero:
+	./tools/run_heterogeneous_bench.sh
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q

@@ -1,0 +1,23 @@
+"""Machine-readable benchmark artifacts for CI.
+
+The guarded performance properties (speedups, makespans) land in
+``BENCH_<NAME>.json`` files next to the repository root — or under
+``$BENCH_JSON_DIR`` when set — so CI can archive the perf trajectory as
+build artifacts instead of scraping stdout.
+"""
+
+import json
+import os
+
+
+def write_bench_json(name, payload):
+    """Persist a benchmark's headline numbers; returns the file path."""
+    out_dir = os.environ.get(
+        "BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "..")
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.abspath(os.path.join(out_dir, f"BENCH_{name.upper()}.json"))
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

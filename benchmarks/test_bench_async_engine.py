@@ -21,6 +21,8 @@ Run directly with::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_async_engine.py -q -s
 """
 
+from bench_artifacts import write_bench_json
+
 from repro.cloud import Cluster
 from repro.core import ExecutionEngine, TunaSampler, TuningLoop
 from repro.optimizers import RandomSearchOptimizer
@@ -90,6 +92,19 @@ def test_bench_async_engine(once):
     )
     print(f"  wall-clock speedup: {result['speedup']:.2f}x (target {SPEEDUP_TARGET}x)")
     print(f"  batch-size-1 trajectory identical to sequential: {result['batch1_identical']}")
+
+    write_bench_json(
+        "async",
+        {
+            "speedup": result["speedup"],
+            "speedup_target": SPEEDUP_TARGET,
+            "sequential_makespan_hours": seq.wall_clock_hours,
+            "async_makespan_hours": asynchronous.wall_clock_hours,
+            "n_workers": N_WORKERS,
+            "n_samples": asynchronous.n_samples,
+            "batch1_identical": result["batch1_identical"],
+        },
+    )
 
     assert result["batch1_identical"], (
         "batch-size-1 asynchronous mode must reproduce the sequential "

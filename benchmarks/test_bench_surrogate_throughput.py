@@ -16,6 +16,7 @@ Run directly with::
 import time
 
 import numpy as np
+from bench_artifacts import write_bench_json
 
 from repro.ml.forest import RandomForestRegressor
 
@@ -85,6 +86,20 @@ def test_bench_surrogate_throughput(once):
         f"  n=1000 pointer walk: {result['pointer_1000'] * 1e3:8.2f} ms  "
         f"flat: {result['flat_1000'] * 1e3:8.2f} ms  "
         f"speedup: {result['speedup']:.1f}x"
+    )
+
+    write_bench_json(
+        "surrogate",
+        {
+            "speedup": result["speedup"],
+            "speedup_target": SPEEDUP_TARGET,
+            "fit_seconds": result["fit_seconds"],
+            "flat_1000_seconds": result["flat_1000"],
+            "pointer_1000_seconds": result["pointer_1000"],
+            "rows_per_second": {
+                str(n): throughput for n, _, throughput in result["rows"]
+            },
+        },
     )
 
     assert result["speedup"] >= SPEEDUP_TARGET, (

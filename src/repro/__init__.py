@@ -21,7 +21,7 @@ from repro.core import (
     build_sampler,
     deploy_configuration,
 )
-from repro.cloud import Cluster
+from repro.cloud import Cluster, FleetSpec
 from repro.optimizers import build_optimizer
 from repro.systems import get_system
 from repro.workloads import get_workload
@@ -31,6 +31,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Cluster",
     "ExecutionEngine",
+    "FleetSpec",
     "NaiveDistributedSampler",
     "TraditionalSampler",
     "TunaSampler",

@@ -24,6 +24,7 @@ faithful stand-in:
 
 from repro.cloud.cluster import Cluster
 from repro.cloud.credits import BurstableCreditAccount
+from repro.cloud.fleet import FleetGroup, FleetSpec
 from repro.cloud.microbench import (
     MICROBENCHMARKS,
     Microbenchmark,
@@ -37,7 +38,9 @@ from repro.cloud.regions import (
     REGIONS,
     SKU_B8MS,
     SKU_C220G5,
+    SKU_D8S_V4,
     SKU_D8S_V5,
+    SKU_D16S_V5,
     SKUS,
     ComponentNoise,
     RegionProfile,
@@ -58,6 +61,8 @@ __all__ = [
     "Cluster",
     "Component",
     "ComponentNoise",
+    "FleetGroup",
+    "FleetSpec",
     "LongitudinalStudy",
     "MICROBENCHMARKS",
     "Microbenchmark",
@@ -66,7 +71,9 @@ __all__ = [
     "SKUS",
     "SKU_B8MS",
     "SKU_C220G5",
+    "SKU_D8S_V4",
     "SKU_D8S_V5",
+    "SKU_D16S_V5",
     "StudyResult",
     "TELEMETRY_METRICS",
     "TelemetrySample",

@@ -4,8 +4,15 @@ The paper's setup (§6) is a fixed cluster of 10 worker VMs plus one
 orchestrator.  Traditional sampling uses a single worker; TUNA distributes
 samples across all of them.  For deployment evaluation (the "apply the best
 config to new systems" step) a set of *fresh* nodes is provisioned from the
-same region/SKU, which is exactly what :meth:`Cluster.provision_fresh_nodes`
-does.
+same region/SKU mix, which is exactly what
+:meth:`Cluster.provision_fresh_nodes` does.
+
+A cluster may be **heterogeneous**: built from a
+:class:`~repro.cloud.fleet.FleetSpec`, each worker carries its own
+``(region, sku)`` assignment, so one tuning run can span regions and VM
+generations.  The legacy ``(n_workers, region, sku)`` constructor is the
+single-group special case and provisions bit-for-bit the same workers as
+before.
 """
 
 from __future__ import annotations
@@ -14,22 +21,28 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cloud.fleet import FleetSpec
 from repro.cloud.regions import RegionProfile, VMSku, get_region, get_sku
 from repro.cloud.vm import VirtualMachine
 
 
 class Cluster:
-    """A named set of worker VMs drawn from one region and SKU.
+    """A named set of worker VMs, homogeneous or drawn from a mixed fleet.
 
     Parameters
     ----------
     n_workers:
-        Number of worker nodes (the paper uses 10).
+        Number of worker nodes (the paper uses 10).  Ignored when ``fleet``
+        is given — the spec then fixes the fleet size.
     region, sku:
-        Region profile / SKU, by object or by name.
+        Region profile / SKU, by object or by name; the homogeneous
+        single-group fleet.  Ignored when ``fleet`` is given.
     seed:
         Master seed; workers get independent child seeds, so two clusters
         built with the same seed contain identical nodes.
+    fleet:
+        Optional :class:`FleetSpec` of per-worker ``(region, sku)``
+        assignments for a heterogeneous cluster.
     """
 
     def __init__(
@@ -38,42 +51,67 @@ class Cluster:
         region: "RegionProfile | str" = "westus2",
         sku: "VMSku | str" = "Standard_D8s_v5",
         seed: Optional[int] = None,
+        fleet: Optional[FleetSpec] = None,
     ) -> None:
-        if n_workers < 1:
-            raise ValueError("a cluster needs at least one worker")
-        self.region = get_region(region) if isinstance(region, str) else region
-        self.sku = get_sku(sku) if isinstance(sku, str) else sku
+        if fleet is None:
+            if n_workers < 1:
+                raise ValueError("a cluster needs at least one worker")
+            region = get_region(region) if isinstance(region, str) else region
+            sku = get_sku(sku) if isinstance(sku, str) else sku
+            fleet = FleetSpec.homogeneous(n_workers, region, sku)
+        self.fleet = fleet
+        # Primary region/SKU: what the legacy single-environment API exposes
+        # (and what homogeneous callers always meant).
+        self.region = fleet.primary_region
+        self.sku = fleet.primary_sku
+        self._assignments = fleet.assignments
         self._seed_sequence = np.random.SeedSequence(seed)
         self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
         self._fresh_counter = 0
         self.workers: List[VirtualMachine] = [
-            self._provision(f"worker-{i}") for i in range(n_workers)
+            self._provision(f"worker-{i}", region=assignment[0], sku=assignment[1])
+            for i, assignment in enumerate(self._assignments)
         ]
+
         self.clock_hours = 0.0
 
     # -- provisioning -------------------------------------------------------
-    def _provision(self, vm_id: str, lifespan: str = "long") -> VirtualMachine:
+    def _provision(
+        self,
+        vm_id: str,
+        lifespan: str = "long",
+        region: Optional[RegionProfile] = None,
+        sku: Optional[VMSku] = None,
+    ) -> VirtualMachine:
         child_seed = self._seed_sequence.spawn(1)[0]
         return VirtualMachine(
             vm_id=vm_id,
-            sku=self.sku,
-            region=self.region,
+            sku=self.sku if sku is None else sku,
+            region=self.region if region is None else region,
             lifespan=lifespan,
             seed=int(np.random.default_rng(child_seed).integers(0, 2**31 - 1)),
         )
 
     def provision_fresh_nodes(self, n: int, lifespan: str = "short") -> List[VirtualMachine]:
-        """Provision ``n`` brand-new VMs from the same region/SKU.
+        """Provision ``n`` brand-new VMs matching the fleet's composition.
 
         Used for deployment evaluation: the best configuration found during
         tuning is re-run on nodes never seen during tuning (§6, "running the
-        best configuration found during tuning on 10 new systems").
+        best configuration found during tuning on 10 new systems").  A
+        homogeneous cluster provisions from its single region/SKU exactly as
+        before; a mixed fleet cycles through its per-worker assignments so
+        the deployment set mirrors the tuning environment.
         """
         if n < 1:
             raise ValueError("must provision at least one node")
         nodes = []
         for _ in range(n):
-            nodes.append(self._provision(f"fresh-{self._fresh_counter}", lifespan))
+            region, sku = self._assignments[self._fresh_counter % len(self._assignments)]
+            nodes.append(
+                self._provision(
+                    f"fresh-{self._fresh_counter}", lifespan, region=region, sku=sku
+                )
+            )
             self._fresh_counter += 1
         return nodes
 
@@ -81,6 +119,11 @@ class Cluster:
     @property
     def n_workers(self) -> int:
         return len(self.workers)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every worker shares one region and one SKU."""
+        return self.fleet.is_homogeneous
 
     def worker(self, vm_id: str) -> VirtualMachine:
         for vm in self.workers:
@@ -91,6 +134,14 @@ class Cluster:
     @property
     def worker_ids(self) -> List[str]:
         return [vm.vm_id for vm in self.workers]
+
+    def region_of(self, vm_id: str) -> str:
+        """Region name of a worker (KeyError for unknown workers)."""
+        return self.worker(vm_id).region.name
+
+    def sku_of(self, vm_id: str) -> str:
+        """SKU name of a worker (KeyError for unknown workers)."""
+        return self.worker(vm_id).sku.name
 
     # -- time -------------------------------------------------------
     def advance(self, hours: float) -> None:
@@ -131,8 +182,20 @@ class Cluster:
             }
         return summary
 
+    def fleet_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-SKU worker count and baseline speed (mixed-fleet reporting)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for vm in self.workers:
+            entry = summary.setdefault(
+                vm.sku.name, {"workers": 0, "speed_factor": vm.speed_factor}
+            )
+            entry["workers"] += 1
+        return summary
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"Cluster(n_workers={self.n_workers}, region={self.region.name!r}, "
-            f"sku={self.sku.name!r})"
-        )
+        if self.is_homogeneous:
+            return (
+                f"Cluster(n_workers={self.n_workers}, region={self.region.name!r}, "
+                f"sku={self.sku.name!r})"
+            )
+        return f"Cluster(n_workers={self.n_workers}, fleet={self.fleet!r})"

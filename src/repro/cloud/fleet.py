@@ -1,0 +1,151 @@
+"""Heterogeneous fleet specifications: per-worker (region, SKU) assignments.
+
+The paper's cloud study (§3) calibrates noise profiles per region and SKU,
+but a tuning run that models the equal-cost comparisons faithfully must be
+able to *span* those environments: part of the cluster on current-generation
+VMs in one region, part on older or larger SKUs elsewhere.  A
+:class:`FleetSpec` describes such a mixed fleet as an ordered list of
+:class:`FleetGroup` blocks; :class:`~repro.cloud.cluster.Cluster` expands it
+into one worker VM per assignment, in order, so the same seed always builds
+the same fleet.
+
+A single-group spec is exactly the legacy homogeneous cluster: building a
+``Cluster`` from ``FleetSpec.homogeneous(n, region, sku)`` provisions
+bit-for-bit the same workers as ``Cluster(n_workers=n, region=..., sku=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.cloud.regions import RegionProfile, VMSku, get_region, get_sku
+
+
+@dataclass(frozen=True)
+class FleetGroup:
+    """A block of identical workers: ``count`` nodes of one region and SKU."""
+
+    region: RegionProfile
+    sku: VMSku
+    count: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.region, RegionProfile):
+            raise TypeError("region must be a RegionProfile (resolve names first)")
+        if not isinstance(self.sku, VMSku):
+            raise TypeError("sku must be a VMSku (resolve names first)")
+        if self.count < 1:
+            raise ValueError("a fleet group needs at least one worker")
+
+
+#: Loose input form accepted by :meth:`FleetSpec.of`: (region, sku) pairs or
+#: (region, sku, count) triples, with region/SKU given by object or by name.
+GroupLike = Union[
+    FleetGroup,
+    Tuple["RegionProfile | str", "VMSku | str"],
+    Tuple["RegionProfile | str", "VMSku | str", int],
+]
+
+
+class FleetSpec:
+    """An ordered description of a (possibly mixed) worker fleet."""
+
+    def __init__(self, groups: Sequence[FleetGroup]) -> None:
+        groups = list(groups)
+        if not groups:
+            raise ValueError("a fleet needs at least one group of workers")
+        self.groups: List[FleetGroup] = groups
+        if self.n_workers < 1:  # unreachable while FleetGroup enforces count>=1
+            raise ValueError("a fleet needs at least one worker")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def of(cls, groups: Iterable[GroupLike]) -> "FleetSpec":
+        """Build a spec from loose (region, sku[, count]) tuples.
+
+        Region and SKU may be given by name; unknown names raise ``KeyError``
+        at construction time, before any worker is provisioned.
+        """
+        resolved: List[FleetGroup] = []
+        for group in groups:
+            if isinstance(group, FleetGroup):
+                resolved.append(group)
+                continue
+            if len(group) == 2:
+                region, sku = group
+                count = 1
+            elif len(group) == 3:
+                region, sku, count = group
+            else:
+                raise ValueError(
+                    "fleet groups are (region, sku) or (region, sku, count) "
+                    f"tuples, got {group!r}"
+                )
+            region = get_region(region) if isinstance(region, str) else region
+            sku = get_sku(sku) if isinstance(sku, str) else sku
+            resolved.append(FleetGroup(region, sku, int(count)))
+        return cls(resolved)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_workers: int,
+        region: "RegionProfile | str",
+        sku: "VMSku | str",
+    ) -> "FleetSpec":
+        """The legacy single-region, single-SKU cluster as a one-group spec."""
+        if n_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        region = get_region(region) if isinstance(region, str) else region
+        sku = get_sku(sku) if isinstance(sku, str) else sku
+        return cls([FleetGroup(region, sku, n_workers)])
+
+    # -- views --------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    @property
+    def assignments(self) -> List[Tuple[RegionProfile, VMSku]]:
+        """One (region, sku) pair per worker, in provisioning order."""
+        pairs: List[Tuple[RegionProfile, VMSku]] = []
+        for group in self.groups:
+            pairs.extend((group.region, group.sku) for _ in range(group.count))
+        return pairs
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every worker shares one region and one SKU.
+
+        Value equality, not identity: regions and SKUs are frozen
+        dataclasses, so a structurally identical profile passed by object
+        counts as the same environment.
+        """
+        first = self.groups[0]
+        return all(
+            group.region == first.region and group.sku == first.sku
+            for group in self.groups
+        )
+
+    @property
+    def primary_region(self) -> RegionProfile:
+        return self.groups[0].region
+
+    @property
+    def primary_sku(self) -> VMSku:
+        return self.groups[0].sku
+
+    def region_names(self) -> List[str]:
+        """Distinct region names, in first-appearance order."""
+        return list(dict.fromkeys(group.region.name for group in self.groups))
+
+    def sku_names(self) -> List[str]:
+        """Distinct SKU names, in first-appearance order."""
+        return list(dict.fromkeys(group.sku.name for group in self.groups))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        blocks = ", ".join(
+            f"{g.count}x {g.sku.name}@{g.region.name}" for g in self.groups
+        )
+        return f"FleetSpec({blocks})"

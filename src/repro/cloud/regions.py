@@ -68,7 +68,16 @@ class ComponentNoise:
 
 @dataclass(frozen=True)
 class VMSku:
-    """A virtual-machine (or bare-metal) offering."""
+    """A virtual-machine (or bare-metal) offering.
+
+    ``perf_factor`` is the SKU's baseline-performance factor relative to the
+    reference SKU (Standard_D8s_v5 = 1.0): how fast one benchmark run
+    executes on this offering, before any noise.  It scales both the
+    measured component multipliers and — through
+    :meth:`repro.core.execution.ExecutionEngine.duration_hours_for` — the
+    wall-clock duration of a sample on a worker of this SKU, so a slow SKU
+    genuinely lengthens its own timeline in a mixed fleet.
+    """
 
     name: str
     vcpus: int
@@ -76,6 +85,7 @@ class VMSku:
     disk_type: str
     burstable: bool = False
     baseline_performance: float = 1.0
+    perf_factor: float = 1.0
     # Burstable accounting (only used when ``burstable`` is true).
     credit_accrual_per_hour: float = 0.0
     max_credits: float = 0.0
@@ -88,6 +98,8 @@ class VMSku:
             raise ValueError("vcpus must be positive")
         if self.memory_gb <= 0:
             raise ValueError("memory_gb must be positive")
+        if self.perf_factor <= 0:
+            raise ValueError("perf_factor must be positive")
         if self.burstable and self.max_credits <= 0:
             raise ValueError("burstable SKUs need max_credits > 0")
 
@@ -216,7 +228,32 @@ SKU_C220G5 = VMSku(
     bare_metal=True,
 )
 
-SKUS: Dict[str, VMSku] = {sku.name: sku for sku in (SKU_D8S_V5, SKU_B8MS, SKU_C220G5)}
+# Heterogeneous-fleet SKUs: a previous-generation offering and a larger
+# current-generation one, differing only in baseline performance.  The noise
+# structure stays the region's; the perf factor shifts the whole distribution
+# (and the per-sample duration) the way a slower/faster part does.
+SKU_D8S_V4 = VMSku(
+    name="Standard_D8s_v4",
+    vcpus=8,
+    memory_gb=32.0,
+    disk_type="premium-ssd",
+    burstable=False,
+    perf_factor=0.75,
+)
+
+SKU_D16S_V5 = VMSku(
+    name="Standard_D16s_v5",
+    vcpus=16,
+    memory_gb=64.0,
+    disk_type="ssdv2",
+    burstable=False,
+    perf_factor=1.45,
+)
+
+SKUS: Dict[str, VMSku] = {
+    sku.name: sku
+    for sku in (SKU_D8S_V5, SKU_B8MS, SKU_C220G5, SKU_D8S_V4, SKU_D16S_V5)
+}
 
 
 def get_region(name: str) -> RegionProfile:

@@ -131,6 +131,18 @@ class VirtualMachine:
                 initial_fraction=float(self._rng.uniform(0.2, 1.0)),
             )
 
+    # ------------------------------------------------------------------ speed
+    @property
+    def speed_factor(self) -> float:
+        """SKU baseline-performance factor (reference SKU = 1.0).
+
+        Consumed by the execution layer: a sample on this worker takes
+        ``base_duration / speed_factor`` of wall-clock, so slow SKUs stretch
+        their own timeline in a mixed fleet, and by the scheduler's
+        heterogeneity-aware placement, which prefers free fast workers.
+        """
+        return self.sku.perf_factor
+
     # ------------------------------------------------------------------ time
     def advance(self, hours: float) -> None:
         """Advance this VM's local clock (idle time accrues burst credits)."""
@@ -195,6 +207,11 @@ class VirtualMachine:
                     + (1.0 - burst_fraction) * self.sku.depleted_performance
                 )
                 value *= effective
+            # SKU baseline performance shifts the whole distribution: a
+            # slower offering is slower on every component, on top of the
+            # region's noise structure (multiplying by 1.0 is exact, so
+            # reference-SKU measurements are bit-for-bit unchanged).
+            value *= self.sku.perf_factor
             multipliers[component] = float(max(value, 0.05))
 
         context = MeasurementContext(

@@ -118,6 +118,12 @@ class ClusterEventLoop:
     def worker_free_at(self, vm_id: str) -> float:
         return self._free_at[vm_id]
 
+    def peek_finish(self) -> Optional[float]:
+        """Finish time of the earliest pending completion (None when idle)."""
+        if not self._events:
+            return None
+        return self._events[0][0]
+
     # -- completions ----------------------------------------------------------
     def next_completion(self) -> WorkItem:
         """Pop the earliest pending completion and advance ``now`` to it."""
@@ -166,8 +172,13 @@ class AsyncExecutionEngine:
     # -- submit ---------------------------------------------------------------
     @property
     def duration_hours(self) -> float:
-        """Simulated duration of one sample run (workload + overhead)."""
+        """Simulated duration of one sample run on a reference-speed worker."""
         return self.execution.wall_clock_hours_per_evaluation
+
+    def duration_for(self, vm: VirtualMachine) -> float:
+        """Per-worker sample duration: the SKU's baseline-performance factor
+        stretches slow workers' runs along their own timelines."""
+        return self.execution.duration_hours_for(vm)
 
     def submit(self, request: WorkRequest) -> List[WorkItem]:
         """Fan a request out into one work item per VM."""
@@ -183,7 +194,7 @@ class AsyncExecutionEngine:
         self._samples[request_id] = []
         items = []
         for vm in request.vms:
-            item = self.loop.submit(request, vm, self.duration_hours)
+            item = self.loop.submit(request, vm, self.duration_for(vm))
             self._request_id_of[item.sequence] = request_id
             items.append(item)
         self.n_submitted_requests += 1
@@ -233,17 +244,45 @@ class AsyncExecutionEngine:
         arriving from the cluster.
         """
         while True:
-            item = self.loop.next_completion()
-            request_id = self._request_id_of.pop(item.sequence)
-            sample = self._evaluate(item)
-            self._samples[request_id].append(sample)
-            self._remaining[request_id] -= 1
-            if self._remaining[request_id] == 0:
-                request = self._request_ids.pop(request_id)
-                samples = self._samples.pop(request_id)
-                del self._remaining[request_id]
-                self.n_completed_requests += 1
-                return request, samples
+            result = self._process_next_item()
+            if result is not None:
+                return result
+
+    def _process_next_item(self) -> Optional[Tuple[WorkRequest, List[Sample]]]:
+        """Pop and evaluate one completion; return its request if it is done."""
+        item = self.loop.next_completion()
+        request_id = self._request_id_of.pop(item.sequence)
+        sample = self._evaluate(item)
+        self._samples[request_id].append(sample)
+        self._remaining[request_id] -= 1
+        if self._remaining[request_id] != 0:
+            return None
+        request = self._request_ids.pop(request_id)
+        samples = self._samples.pop(request_id)
+        del self._remaining[request_id]
+        self.n_completed_requests += 1
+        return request, samples
+
+    def next_completed_requests(self) -> List[Tuple[WorkRequest, List[Sample]]]:
+        """Drain one *wave* of completions: every request finishing at the
+        same simulated instant as the first one to complete.
+
+        Completions that land together (e.g. a batch of equal-duration
+        samples launched in the same scheduling round) come back as one list,
+        so the driver can feed them to the optimizer as a single
+        ``tell_batch`` — one surrogate refit per wave instead of one per
+        landed result.  Items are still evaluated in exactly the event loop's
+        completion order, so the measurement RNG sequence is identical to
+        draining requests one at a time.
+        """
+        completed: List[Tuple[WorkRequest, List[Sample]]] = []
+        while True:
+            result = self._process_next_item()
+            if result is not None:
+                completed.append(result)
+            next_finish = self.loop.peek_finish()
+            if completed and (next_finish is None or next_finish > self.loop.now):
+                return completed
 
     # -- teardown -------------------------------------------------------------
     def finalize(self) -> float:

@@ -96,7 +96,7 @@ class ExecutionEngine:
 
     @property
     def wall_clock_hours_per_evaluation(self) -> float:
-        """Wall-clock cost of one evaluation (workload duration + overhead).
+        """Wall-clock cost of one evaluation on a reference-speed worker.
 
         Samples taken on different nodes run in parallel, so a configuration's
         wall-clock cost is independent of its budget; what the budget consumes
@@ -106,3 +106,22 @@ class ExecutionEngine:
         if duration <= 0:
             duration = self.workload.baseline_performance / 3_600.0  # OLAP batch
         return duration + 1.0 / 60.0  # one minute of setup/teardown overhead
+
+    def duration_hours_for(self, vm: VirtualMachine) -> float:
+        """Wall-clock cost of one evaluation on a specific worker.
+
+        The SKU's baseline-performance factor stretches (or shrinks) the run:
+        a worker at ``speed_factor == 0.8`` takes 1.25x the reference
+        duration, so in a mixed fleet a slow SKU genuinely lengthens its own
+        timeline and the run makespan.  Reference-speed workers (factor 1.0)
+        keep the legacy duration bit-for-bit.
+        """
+        return self.wall_clock_hours_per_evaluation / vm.speed_factor
+
+    def request_duration_hours(self, vms: Sequence[VirtualMachine]) -> float:
+        """Wall-clock cost of one request: its samples run in parallel, so
+        the slowest assigned worker dominates.  Zero for an empty node set
+        (a promotion fully covered by reused samples runs nothing)."""
+        if not vms:
+            return 0.0
+        return max(self.duration_hours_for(vm) for vm in vms)

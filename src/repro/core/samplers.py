@@ -89,6 +89,17 @@ class Sampler(abc.ABC):
     ) -> IterationReport:
         """Consume the finished samples of a request and tell the optimizer."""
 
+    def complete_work_batch(
+        self, completed: List[Tuple[WorkRequest, List[Sample]]]
+    ) -> List[IterationReport]:
+        """Consume a *wave* of completed requests (same event-loop drain).
+
+        The default simply completes them one at a time; samplers that can
+        batch their optimizer ``tell``s (one surrogate refit per wave rather
+        than one per landed result) override this.
+        """
+        return [self.complete_work(request, samples) for request, samples in completed]
+
     def run_iteration(self, iteration: int) -> IterationReport:
         """Evaluate one optimizer suggestion synchronously and report back."""
         request = self.propose_work(iteration)
@@ -143,7 +154,7 @@ class TraditionalSampler(Sampler):
             raw_values=[sample.value],
             unstable=False,
             n_new_samples=1,
-            wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
+            wall_clock_hours=self.execution.duration_hours_for(self.worker),
             details={"crashed": sample.crashed},
         )
 
@@ -201,7 +212,7 @@ class NaiveDistributedSampler(Sampler):
             raw_values=values,
             unstable=False,
             n_new_samples=len(new_samples),
-            wall_clock_hours=self.execution.wall_clock_hours_per_evaluation,
+            wall_clock_hours=self.execution.request_duration_hours(request.vms),
             details={},
         )
 
@@ -229,6 +240,12 @@ class TunaSampler(Sampler):
     eta:
         Successive-halving promotion ratio (top ``1/eta`` of a rung moves
         up); the schedule's default when ``None``.
+    placement:
+        Node-placement policy for the task scheduler:
+        ``"heterogeneity"`` (default) trades queue depth against SKU speed
+        and region diversity — on a homogeneous cluster it reproduces the
+        legacy placement bit-for-bit; ``"fifo"`` is the naive round-robin
+        baseline the heterogeneous-fleet benchmark compares against.
     """
 
     name = "tuna"
@@ -245,6 +262,7 @@ class TunaSampler(Sampler):
         outlier_threshold: float = 0.30,
         use_noise_adjuster: bool = True,
         use_outlier_detector: bool = True,
+        placement: str = "heterogeneity",
     ) -> None:
         super().__init__(optimizer, execution, cluster, seed=seed)
         if budgets[-1] > cluster.n_workers:
@@ -254,7 +272,9 @@ class TunaSampler(Sampler):
             objective=self.objective, budgets=budgets, **schedule_kwargs
         )
         self.scheduler = MultiFidelityTaskScheduler(
-            cluster, seed=int(self._rng.integers(0, 2**31 - 1))
+            cluster,
+            seed=int(self._rng.integers(0, 2**31 - 1)),
+            placement=placement,
         )
         self.outlier_detector = OutlierDetector(threshold=outlier_threshold)
         self.aggregation = aggregation
@@ -367,9 +387,14 @@ class TunaSampler(Sampler):
             self.scheduler.reserve(worker_ids)
         return WorkRequest(config, budget, vms, iteration, kind=kind)
 
-    def complete_work(
-        self, request: WorkRequest, new_samples: List[Sample]
+    def _complete(
+        self,
+        request: WorkRequest,
+        new_samples: List[Sample],
+        deferred_tells: Optional[List[Tuple[Configuration, float, float]]] = None,
     ) -> IterationReport:
+        """Consume a finished request; the optimizer ``tell`` is appended to
+        ``deferred_tells`` when given (wave batching) or issued inline."""
         config, budget = request.config, request.budget
         worker_ids = request.worker_ids
         if worker_ids:
@@ -401,7 +426,11 @@ class TunaSampler(Sampler):
 
         self.schedule.record(config, budget, agg)
         self._catalog[config] = (budget, agg)
-        self.optimizer.tell(config, objective_to_cost(agg, self.objective), budget=budget)
+        cost = objective_to_cost(agg, self.objective)
+        if deferred_tells is None:
+            self.optimizer.tell(config, cost, budget=budget)
+        else:
+            deferred_tells.append((config, cost, float(budget)))
 
         # Training happens after inference so no information leaks into the
         # values reported this iteration (§6.6).
@@ -409,11 +438,12 @@ class TunaSampler(Sampler):
             self._retrain_noise_adjuster()
 
         # Samples on different nodes run in parallel, so a request costs one
-        # evaluation of wall-clock — unless it scheduled nothing (a promotion
-        # fully covered by reused samples), which is free: charging it a full
+        # evaluation of wall-clock — the slowest assigned worker's, in a
+        # mixed fleet — unless it scheduled nothing (a promotion fully
+        # covered by reused samples), which is free: charging it a full
         # evaluation would skew the equal-cost comparison of §6.5.
         wall_clock_hours = (
-            self.execution.wall_clock_hours_per_evaluation if new_samples else 0.0
+            self.execution.request_duration_hours(request.vms) if new_samples else 0.0
         )
 
         return IterationReport(
@@ -430,6 +460,30 @@ class TunaSampler(Sampler):
                 "model_generation": self.noise_adjuster.generation,
             },
         )
+
+    def complete_work(
+        self, request: WorkRequest, new_samples: List[Sample]
+    ) -> IterationReport:
+        return self._complete(request, new_samples)
+
+    def complete_work_batch(
+        self, completed: List[Tuple[WorkRequest, List[Sample]]]
+    ) -> List[IterationReport]:
+        """Complete a wave of requests with one batched optimizer tell.
+
+        Completions that land in the same event-loop drain go through a
+        single :meth:`~repro.optimizers.base.Optimizer.tell_batch`, so the
+        surrogate refits once per wave instead of once per landed result
+        (single-``tell`` semantics are unchanged: same observations, same
+        retracted fantasies, one cache invalidation instead of several).
+        """
+        tells: List[Tuple[Configuration, float, float]] = []
+        reports = [
+            self._complete(request, samples, deferred_tells=tells)
+            for request, samples in completed
+        ]
+        self.optimizer.tell_batch(tells)
+        return reports
 
     # ------------------------------------------------------------------ output
     def best_configuration(self) -> Tuple[Configuration, float]:

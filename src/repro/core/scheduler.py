@@ -5,6 +5,18 @@ to a higher budget, so only the missing samples are scheduled — and they must
 land on worker nodes the configuration has not used before, otherwise the
 detection guarantees of Fig. 9 (which assume samples from distinct nodes)
 would not hold.
+
+Placement is **heterogeneity-aware** by default: in a mixed fleet the
+scheduler trades node diversity against queue depth and SKU speed, preferring
+free fast workers (Gavel-style throughput-normalised placement: the cost of a
+worker is its expected queue wait ``(queued + 1) / speed``) while still
+spreading a configuration's samples across regions so the noise aggregation
+sees every environment.  On a homogeneous single-region cluster every term of
+the ranking collapses to the legacy ``(reserved, load, random)`` order, so
+existing trajectories are reproduced bit-for-bit under the same seeds.  The
+``"fifo"`` mode is the naive baseline: round-robin over workers in fixed
+order, blind to speed and queue depth — what a heterogeneity-oblivious
+scheduler would do, and what the heterogeneous-fleet benchmark beats.
 """
 
 from __future__ import annotations
@@ -17,12 +29,26 @@ from repro.cloud.cluster import Cluster
 from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
 
+#: Known placement policies (see class docstring).
+PLACEMENT_POLICIES = ("heterogeneity", "fifo")
+
 
 class MultiFidelityTaskScheduler:
     """Chooses which worker nodes run the next samples of a configuration."""
 
-    def __init__(self, cluster: Cluster, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        seed: Optional[int] = None,
+        placement: str = "heterogeneity",
+    ) -> None:
+        if placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {placement!r}; "
+                f"known: {PLACEMENT_POLICIES}"
+            )
         self.cluster = cluster
+        self.placement = placement
         self._rng = np.random.default_rng(seed)
         # Load balancing: how many samples each worker has executed so far.
         self._load: Dict[str, int] = {vm.vm_id: 0 for vm in cluster.workers}
@@ -31,6 +57,17 @@ class MultiFidelityTaskScheduler:
         # are deprioritised by :meth:`assign` so new samples land on idle
         # nodes first and the cluster stays uniformly busy.
         self._reserved: Dict[str, int] = {vm.vm_id: 0 for vm in cluster.workers}
+        # Static per-worker facts consumed by the placement ranking.
+        self._speed: Dict[str, float] = {
+            vm.vm_id: vm.speed_factor for vm in cluster.workers
+        }
+        self._region: Dict[str, str] = {
+            vm.vm_id: vm.region.name for vm in cluster.workers
+        }
+        self._index: Dict[str, int] = {
+            vm.vm_id: i for i, vm in enumerate(cluster.workers)
+        }
+        self._rr_cursor = 0  # next worker index for "fifo" round-robin
 
     @property
     def n_workers(self) -> int:
@@ -64,6 +101,72 @@ class MultiFidelityTaskScheduler:
         used = set(already_used)
         return [vm for vm in self.cluster.workers if vm.vm_id not in used]
 
+    # -- placement rankings ---------------------------------------------------
+    def _region_usage(self, used: Sequence[str]) -> Dict[str, int]:
+        """How many of the configuration's samples sit in each region."""
+        usage: Dict[str, int] = {}
+        for worker_id in used:
+            region = self._region.get(worker_id)
+            if region is not None:
+                usage[region] = usage.get(region, 0) + 1
+        return usage
+
+    def _rank_heterogeneity(
+        self, eligible: List[VirtualMachine], used: Sequence[str]
+    ) -> List[VirtualMachine]:
+        """Throughput-normalised, diversity-aware ranking.
+
+        Selection key, most significant first:
+
+        1. expected queue wait ``(reserved + 1) / speed`` — a free fast
+           worker beats a free slow one, and a deep queue on a fast worker
+           can lose to an idle slow one (Gavel-style normalisation);
+        2. how many of this configuration's samples its region already holds
+           — spread across regions so noise aggregation sees every
+           environment;
+        3. historical load normalised by speed (long-run balance in
+           delivered node-hours, not sample counts);
+        4. a random tie-break for even spread.
+
+        Workers are picked greedily one at a time, and each pick feeds back
+        into the diversity term, so a multi-node request spreads across
+        regions instead of scoring them all against the same pre-request
+        usage.  The random tie-break is drawn once per eligible worker up
+        front; on a homogeneous single-region fleet (uniform speed, one
+        region) terms 1-3 are round-invariant and order exactly like the
+        legacy ``(reserved, load)`` pair, the RNG is consumed identically,
+        and the greedy selection equals the legacy one-shot sort — placement
+        is bit-for-bit the legacy placement.
+        """
+        region_usage = self._region_usage(used)
+        tiebreak = {vm.vm_id: self._rng.random() for vm in eligible}
+        remaining = list(eligible)
+        ordered: List[VirtualMachine] = []
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda vm: (
+                    (self._reserved[vm.vm_id] + 1) / self._speed[vm.vm_id],
+                    region_usage.get(self._region[vm.vm_id], 0),
+                    self._load[vm.vm_id] / self._speed[vm.vm_id],
+                    tiebreak[vm.vm_id],
+                ),
+            )
+            remaining.remove(best)
+            ordered.append(best)
+            region = self._region[best.vm_id]
+            region_usage[region] = region_usage.get(region, 0) + 1
+        return ordered
+
+    def _rank_fifo(self, eligible: List[VirtualMachine]) -> List[VirtualMachine]:
+        """Naive round-robin: next worker in fixed order, blind to speed,
+        queue depth and regions — the heterogeneity-oblivious baseline."""
+        n = self.n_workers
+        return sorted(
+            eligible,
+            key=lambda vm: (self._index[vm.vm_id] - self._rr_cursor) % n,
+        )
+
     def assign(
         self,
         config: Configuration,
@@ -92,21 +195,15 @@ class MultiFidelityTaskScheduler:
                 "not enough unused workers to honour the budget: "
                 f"need {needed}, have {len(eligible)}"
             )
-        # Idle workers first, then least historical load; ties broken
-        # randomly for even spread.  Reserved (in-flight) workers are still
-        # eligible — samples queue on their timeline — but only as a last
-        # resort, so asynchronous batches fan out across idle nodes.
-        order = sorted(
-            eligible,
-            key=lambda vm: (
-                self._reserved[vm.vm_id],
-                self._load[vm.vm_id],
-                self._rng.random(),
-            ),
-        )
+        if self.placement == "fifo":
+            order = self._rank_fifo(eligible)
+        else:
+            order = self._rank_heterogeneity(eligible, used)
         chosen = order[:needed]
         for vm in chosen:
             self._load[vm.vm_id] += 1
+        if self.placement == "fifo" and chosen:
+            self._rr_cursor = (self._index[chosen[-1].vm_id] + 1) % self.n_workers
         return chosen
 
     def record_external_load(self, worker_id: str, n_samples: int = 1) -> None:

@@ -273,14 +273,23 @@ class TuningLoop:
                 engine.submit(request)
             if engine.n_in_flight_items == 0:
                 break
-            request, new_samples = engine.next_completed_request()
-            report = self.sampler.complete_work(request, new_samples)
-            handle(report)
-            if lockstep:
-                hours += report.wall_clock_hours
-                if report.wall_clock_hours > 0:
-                    self.sampler.cluster.advance(report.wall_clock_hours)
+            # Drain one wave: every request finishing at the same simulated
+            # instant lands together and is fed back as a single batched
+            # tell, so the surrogate refits once per wave (a single
+            # completion — always the case in lockstep mode — takes the
+            # plain single-tell path).
+            wave = engine.next_completed_requests()
+            if len(wave) == 1:
+                reports = [self.sampler.complete_work(*wave[0])]
             else:
+                reports = self.sampler.complete_work_batch(wave)
+            for report in reports:
+                handle(report)
+                if lockstep:
+                    hours += report.wall_clock_hours
+                    if report.wall_clock_hours > 0:
+                        self.sampler.cluster.advance(report.wall_clock_hours)
+            if not lockstep:
                 hours = engine.makespan_hours
 
         if lockstep:

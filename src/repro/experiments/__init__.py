@@ -17,7 +17,14 @@ module                      paper figures
 ==========================  =====================================
 """
 
-from repro.experiments.cloud_study import CloudStudySummary, run_cloud_study
+from repro.experiments.cloud_study import (
+    CloudStudySummary,
+    MixedFleetComparison,
+    MixedFleetSummary,
+    format_mixed_fleet_report,
+    run_cloud_study,
+    run_mixed_fleet_study,
+)
 from repro.experiments.component_analysis import (
     AblationResult,
     run_gp_optimizer_comparison,
@@ -54,13 +61,17 @@ __all__ = [
     "ComparisonResult",
     "DetectionCurve",
     "EqualCostResult",
+    "MixedFleetComparison",
+    "MixedFleetSummary",
     "NoiseConvergenceResult",
     "RelativeRangeDistribution",
     "TransferabilityResult",
     "compare_samplers",
     "detection_probability_curve",
+    "format_mixed_fleet_report",
     "relative_range_distribution",
     "run_cloud_study",
+    "run_mixed_fleet_study",
     "run_equal_cost_comparison",
     "run_gp_optimizer_comparison",
     "run_naive_distributed_comparison",

@@ -8,7 +8,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cloud import Cluster
-from repro.configspace import Configuration
 from repro.core import ExecutionEngine, TraditionalSampler, TuningLoop, deploy_configuration
 from repro.ml.metrics import relative_range
 from repro.optimizers import SMACOptimizer

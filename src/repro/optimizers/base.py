@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -97,13 +97,48 @@ class Optimizer(abc.ABC):
         Any pending fantasies for the configuration are retracted first: the
         real observation replaces the lie.
         """
+        self._record(config, cost, budget, metadata)
+        self._data_version += 1
+
+    def tell_batch(
+        self, results: Sequence[Tuple[Configuration, float, float]]
+    ) -> None:
+        """Report several results that landed in the same event-loop drain.
+
+        Semantically identical to calling :meth:`tell` once per
+        ``(config, cost, budget)`` triple, in order — same observations, same
+        fantasy retraction, one shared :meth:`_record` path — but the
+        training-data fingerprint advances once for the whole wave, so a
+        cached surrogate is invalidated (and refit) a single time per wave
+        rather than once per landed result.  Validation is atomic: a
+        non-finite cost anywhere in the wave records nothing.
+        """
+        results = list(results)
+        for _, cost, _ in results:
+            if not np.isfinite(cost):
+                raise ValueError("cost must be finite; penalise crashes before telling")
+        if not results:
+            return
+        for config, cost, budget in results:
+            self._record(config, cost, budget, None)
+        self._data_version += 1
+
+    def _record(
+        self,
+        config: Configuration,
+        cost: float,
+        budget: float,
+        metadata: Optional[Dict],
+    ) -> None:
+        """Shared body of :meth:`tell` / :meth:`tell_batch`: retract the
+        configuration's pending fantasies and append the real observation
+        (fingerprint bumping is the caller's job)."""
         if not np.isfinite(cost):
             raise ValueError("cost must be finite; penalise crashes before telling")
-        self.retract_fantasy(config, all_matching=True)
+        self._retract_quietly(config, all_matching=True)
         self.observations.append(
             OptimizerObservation(config, float(cost), float(budget), metadata or {})
         )
-        self._data_version += 1
 
     # -- in-flight fantasies ---------------------------------------------------
     def fantasize(self, config: Configuration, budget: float = 1.0) -> OptimizerObservation:
@@ -127,6 +162,14 @@ class Optimizer(abc.ABC):
 
     def retract_fantasy(self, config: Configuration, all_matching: bool = False) -> bool:
         """Drop pending fantasies for ``config``; returns whether any existed."""
+        found = self._retract_quietly(config, all_matching=all_matching)
+        if found:
+            self._data_version += 1
+        return found
+
+    def _retract_quietly(self, config: Configuration, all_matching: bool = False) -> bool:
+        """Drop pending fantasies without advancing the data fingerprint
+        (batched tells bump it once for the whole wave)."""
         found = False
         remaining: List[OptimizerObservation] = []
         for obs in self._pending:
@@ -136,7 +179,6 @@ class Optimizer(abc.ABC):
             remaining.append(obs)
         if found:
             self._pending = remaining
-            self._data_version += 1
         return found
 
     @property

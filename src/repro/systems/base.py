@@ -11,7 +11,7 @@ import numpy as np
 from repro.cloud.telemetry import TelemetrySample
 from repro.cloud.vm import MeasurementContext, VirtualMachine
 from repro.configspace import Configuration, ConfigurationSpace
-from repro.workloads.base import Objective, Workload, WorkloadKind
+from repro.workloads.base import Objective, Workload
 
 
 @dataclass

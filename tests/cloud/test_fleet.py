@@ -1,0 +1,163 @@
+"""Tests for heterogeneous fleet specs, mixed clusters and SKU perf factors."""
+
+import pytest
+
+from repro.cloud import (
+    AZURE_EASTUS,
+    AZURE_WESTUS2,
+    Cluster,
+    FleetGroup,
+    FleetSpec,
+    SKU_D8S_V4,
+    SKU_D8S_V5,
+    SKU_D16S_V5,
+    VMSku,
+    VirtualMachine,
+    get_sku,
+)
+
+MIXED_GROUPS = [
+    ("westus2", "Standard_D16s_v5", 2),
+    ("eastus", "Standard_D8s_v5", 2),
+    ("centralus", "Standard_D8s_v4", 2),
+]
+
+
+class TestFleetSpec:
+    def test_of_resolves_names_and_counts(self):
+        fleet = FleetSpec.of(MIXED_GROUPS)
+        assert fleet.n_workers == 6
+        assert not fleet.is_homogeneous
+        assert fleet.region_names() == ["westus2", "eastus", "centralus"]
+        assert fleet.sku_names() == [
+            "Standard_D16s_v5",
+            "Standard_D8s_v5",
+            "Standard_D8s_v4",
+        ]
+
+    def test_of_accepts_pairs_and_objects(self):
+        fleet = FleetSpec.of(
+            [
+                (AZURE_WESTUS2, SKU_D16S_V5),
+                FleetGroup(AZURE_EASTUS, SKU_D8S_V5, 3),
+            ]
+        )
+        assert fleet.n_workers == 4
+        assert fleet.primary_region is AZURE_WESTUS2
+        assert fleet.primary_sku is SKU_D16S_V5
+
+    def test_unknown_sku_raises(self):
+        with pytest.raises(KeyError):
+            FleetSpec.of([("westus2", "Standard_Z99", 2)])
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            FleetSpec.of([("atlantis", "Standard_D8s_v5", 2)])
+
+    def test_zero_worker_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSpec([])
+        with pytest.raises(ValueError):
+            FleetSpec.of([("westus2", "Standard_D8s_v5", 0)])
+        with pytest.raises(ValueError):
+            FleetSpec.homogeneous(0, "westus2", "Standard_D8s_v5")
+
+    def test_malformed_group_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSpec.of([("westus2",)])
+
+    def test_single_sku_multi_group_is_homogeneous(self):
+        fleet = FleetSpec.of(
+            [
+                ("westus2", "Standard_D8s_v5", 4),
+                ("westus2", "Standard_D8s_v5", 6),
+            ]
+        )
+        assert fleet.is_homogeneous
+        assert fleet.n_workers == 10
+
+    def test_assignments_order_matches_groups(self):
+        fleet = FleetSpec.of(MIXED_GROUPS)
+        skus = [sku.name for _, sku in fleet.assignments]
+        assert skus == [
+            "Standard_D16s_v5",
+            "Standard_D16s_v5",
+            "Standard_D8s_v5",
+            "Standard_D8s_v5",
+            "Standard_D8s_v4",
+            "Standard_D8s_v4",
+        ]
+
+
+class TestPerfFactor:
+    def test_reference_skus_have_unit_factor(self):
+        assert SKU_D8S_V5.perf_factor == 1.0
+        assert get_sku("c220g5").perf_factor == 1.0
+
+    def test_new_skus_are_ordered(self):
+        assert SKU_D8S_V4.perf_factor < 1.0 < SKU_D16S_V5.perf_factor
+
+    def test_nonpositive_perf_factor_rejected(self):
+        with pytest.raises(ValueError):
+            VMSku(name="bad", vcpus=4, memory_gb=8.0, disk_type="ssd", perf_factor=0.0)
+
+    def test_vm_speed_factor_follows_sku(self):
+        vm = VirtualMachine("vm-0", SKU_D8S_V4, AZURE_WESTUS2, seed=0)
+        assert vm.speed_factor == SKU_D8S_V4.perf_factor
+
+    def test_measure_scales_with_perf_factor(self):
+        slow_sku = VMSku(
+            name="half", vcpus=8, memory_gb=32.0, disk_type="ssd", perf_factor=0.5
+        )
+        reference = VirtualMachine("vm-0", SKU_D8S_V5, AZURE_WESTUS2, seed=9)
+        slow = VirtualMachine("vm-0", slow_sku, AZURE_WESTUS2, seed=9)
+        a = reference.measure(0.1)
+        b = slow.measure(0.1)
+        for component in a.multipliers:
+            assert b.multiplier(component) == pytest.approx(
+                0.5 * a.multiplier(component)
+            )
+
+
+class TestMixedCluster:
+    def test_workers_carry_their_assignments(self):
+        cluster = Cluster(seed=0, fleet=FleetSpec.of(MIXED_GROUPS))
+        assert cluster.n_workers == 6
+        assert not cluster.is_homogeneous
+        assert cluster.sku_of("worker-0") == "Standard_D16s_v5"
+        assert cluster.region_of("worker-0") == "westus2"
+        assert cluster.sku_of("worker-5") == "Standard_D8s_v4"
+        assert cluster.region_of("worker-5") == "centralus"
+        with pytest.raises(KeyError):
+            cluster.region_of("worker-99")
+
+    def test_same_seed_same_mixed_cluster(self):
+        a = Cluster(seed=5, fleet=FleetSpec.of(MIXED_GROUPS))
+        b = Cluster(seed=5, fleet=FleetSpec.of(MIXED_GROUPS))
+        for vm_a, vm_b in zip(a.workers, b.workers):
+            assert vm_a.node_factor("cache") == vm_b.node_factor("cache")
+            assert vm_a.sku.name == vm_b.sku.name
+
+    def test_homogeneous_fleet_matches_legacy_constructor_bit_for_bit(self):
+        legacy = Cluster(n_workers=5, seed=7)
+        fleet = Cluster(
+            seed=7, fleet=FleetSpec.homogeneous(5, "westus2", "Standard_D8s_v5")
+        )
+        for vm_a, vm_b in zip(legacy.workers, fleet.workers):
+            for component in ("cpu", "disk", "memory", "os", "cache", "network"):
+                assert vm_a.node_factor(component) == vm_b.node_factor(component)
+            assert vm_a.measure(0.1).multipliers == vm_b.measure(0.1).multipliers
+
+    def test_fresh_nodes_cycle_the_fleet_composition(self):
+        cluster = Cluster(seed=2, fleet=FleetSpec.of(MIXED_GROUPS))
+        fresh = cluster.provision_fresh_nodes(7)
+        skus = [vm.sku.name for vm in fresh]
+        # Cycles through the six per-worker assignments, then wraps.
+        assert skus[:2] == ["Standard_D16s_v5", "Standard_D16s_v5"]
+        assert skus[6] == "Standard_D16s_v5"
+
+    def test_fleet_summary_counts_by_sku(self):
+        cluster = Cluster(seed=0, fleet=FleetSpec.of(MIXED_GROUPS))
+        summary = cluster.fleet_summary()
+        assert summary["Standard_D16s_v5"]["workers"] == 2
+        assert summary["Standard_D8s_v4"]["speed_factor"] == SKU_D8S_V4.perf_factor

@@ -1,13 +1,12 @@
 """Shared fixtures for TUNA-core tests."""
 
-import numpy as np
 import pytest
 
 from repro.cloud import Cluster
 from repro.core.execution import ExecutionEngine
 from repro.optimizers import RandomSearchOptimizer, SMACOptimizer
-from repro.systems import PostgreSQLSystem, RedisSystem
-from repro.workloads import TPCC, YCSB_C
+from repro.systems import PostgreSQLSystem
+from repro.workloads import TPCC
 
 
 @pytest.fixture()

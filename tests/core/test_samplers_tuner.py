@@ -1,6 +1,5 @@
 """Integration tests: execution engine, samplers and the tuning loop."""
 
-import numpy as np
 import pytest
 
 from repro.cloud import Cluster
@@ -14,8 +13,8 @@ from repro.core import (
     deploy_configuration,
 )
 from repro.optimizers import RandomSearchOptimizer, SMACOptimizer
-from repro.systems import PostgreSQLSystem, RedisSystem
-from repro.workloads import TPCC, WIKIPEDIA_TOP500, YCSB_C
+from repro.systems import RedisSystem
+from repro.workloads import TPCC, YCSB_C
 
 
 class TestExecutionEngine:

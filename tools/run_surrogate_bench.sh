@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Surrogate-inference microbenchmark smoke run: prints fit time, batched
-# predict throughput at n in {100, 1000, 10000}, and asserts the flat-array
-# path stays >= 10x faster than the legacy pointer walk.
+# predict throughput at n in {100, 1000, 10000}, asserts the flat-array
+# path stays >= 10x faster than the legacy pointer walk, and writes
+# BENCH_SURROGATE.json (speedup, throughputs) for CI archiving.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
