@@ -6,9 +6,10 @@
 #   make bench-surrogate  surrogate-inference throughput microbenchmark
 #   make bench-async      async batched execution makespan microbenchmark
 #   make bench-hetero     heterogeneous-fleet placement microbenchmark
+#   make bench-straggler  speculative re-execution under injected stragglers
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint bench bench-surrogate bench-async bench-hetero
+.PHONY: test test-fast lint bench bench-surrogate bench-async bench-hetero bench-straggler
 
 test:
 	./tools/run_tier1.sh
@@ -27,6 +28,9 @@ bench-async:
 
 bench-hetero:
 	./tools/run_heterogeneous_bench.sh
+
+bench-straggler:
+	./tools/run_straggler_bench.sh
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q

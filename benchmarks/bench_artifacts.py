@@ -4,17 +4,51 @@ The guarded performance properties (speedups, makespans) land in
 ``BENCH_<NAME>.json`` files next to the repository root — or under
 ``$BENCH_JSON_DIR`` when set — so CI can archive the perf trajectory as
 build artifacts instead of scraping stdout.
+
+Every artifact is stamped with provenance (the git SHA it was produced
+from, a UTC timestamp, and the benchmark's parameters), so a number in a
+weeks-old CI artifact can be traced to the exact commit and configuration
+that produced it.
 """
 
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
 
-def write_bench_json(name, payload):
-    """Persist a benchmark's headline numbers; returns the file path."""
-    out_dir = os.environ.get(
-        "BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "..")
-    )
+def _git_sha():
+    """Current commit SHA, or "unknown" outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def write_bench_json(name, payload, parameters=None):
+    """Persist a benchmark's headline numbers; returns the file path.
+
+    ``parameters`` (seeds, budgets, targets, ...) are recorded under the
+    ``provenance`` key together with the git SHA and generation timestamp.
+    """
+    payload = dict(payload)
+    payload["provenance"] = {
+        "git_sha": _git_sha(),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "parameters": dict(parameters or {}),
+    }
+    out_dir = os.environ.get("BENCH_JSON_DIR", _REPO_ROOT)
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.abspath(os.path.join(out_dir, f"BENCH_{name.upper()}.json"))
     with open(path, "w") as fh:

@@ -104,6 +104,12 @@ def test_bench_async_engine(once):
             "n_samples": asynchronous.n_samples,
             "batch1_identical": result["batch1_identical"],
         },
+        parameters={
+            "seed": SEED,
+            "n_workers": N_WORKERS,
+            "max_samples": MAX_SAMPLES,
+            "eta": ETA,
+        },
     )
 
     assert result["batch1_identical"], (

@@ -107,6 +107,11 @@ def test_bench_heterogeneous_placement(once):
             "samples_per_region": aware.samples_per_region,
             "reduction_identical": result["reduction_identical"],
         },
+        parameters={
+            "seed": SEED,
+            "max_samples": MAX_SAMPLES,
+            "n_workers": 10,
+        },
     )
 
     assert result["reduction_identical"], (

@@ -100,6 +100,12 @@ def test_bench_surrogate_throughput(once):
                 str(n): throughput for n, _, throughput in result["rows"]
             },
         },
+        parameters={
+            "n_trees": N_TREES,
+            "n_train": N_TRAIN,
+            "n_features": N_FEATURES,
+            "batch_sizes": list(BATCH_SIZES),
+        },
     )
 
     assert result["speedup"] >= SPEEDUP_TARGET, (

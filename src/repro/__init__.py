@@ -8,6 +8,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.systems` — PostgreSQL / Redis / NGINX simulators.
 * :mod:`repro.workloads` — TPC-C, epinions, TPC-H, mssales, YCSB, Wikipedia.
 * :mod:`repro.cloud` — the simulated cloud (VMs, noise, telemetry, studies).
+* :mod:`repro.faults` — stochastic duration models and straggler mitigation.
 * :mod:`repro.ml` — from-scratch random forest / GP / preprocessing.
 * :mod:`repro.experiments` — per-figure reproduction harnesses.
 """
@@ -22,6 +23,7 @@ from repro.core import (
     deploy_configuration,
 )
 from repro.cloud import Cluster, FleetSpec
+from repro.faults import SpeculationPolicy, build_fault_model
 from repro.optimizers import build_optimizer
 from repro.systems import get_system
 from repro.workloads import get_workload
@@ -33,10 +35,12 @@ __all__ = [
     "ExecutionEngine",
     "FleetSpec",
     "NaiveDistributedSampler",
+    "SpeculationPolicy",
     "TraditionalSampler",
     "TunaSampler",
     "TuningLoop",
     "__version__",
+    "build_fault_model",
     "build_optimizer",
     "build_sampler",
     "deploy_configuration",

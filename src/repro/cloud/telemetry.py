@@ -52,6 +52,44 @@ TELEMETRY_METRICS: List[str] = [
 ]
 
 
+#: Metric name -> position in a telemetry vector (for in-place overlays).
+_METRIC_INDEX: Dict[str, int] = {name: i for i, name in enumerate(TELEMETRY_METRICS)}
+
+
+def apply_interference_signature(vector: np.ndarray, stretch: float) -> np.ndarray:
+    """Overlay the guest-visible footprint of an injected runtime stretch.
+
+    When the fault subsystem stretches a run (interference burst, brownout,
+    heavy-tail slowdown), the guest OS would have *seen* something: steal
+    time, iowait, load, cache misses.  This helper rewrites those metrics in
+    a telemetry vector so the noise adjuster receives a signal correlated
+    with the very fault that perturbed the measurement — the same property
+    the simulator already guarantees for its native interference episodes.
+
+    ``stretch <= 1.0`` returns the vector unchanged (the same object), so
+    runs without fault injection are bit-for-bit identical.  The overlay is
+    deterministic — the stochasticity lives in the fault model's draw, not
+    here.
+    """
+    if stretch <= 1.0:
+        return vector
+    adjusted = np.array(vector, dtype=float, copy=True)
+    excess = min(float(stretch) - 1.0, 4.0)
+    saturation = excess / (1.0 + excess)  # (0, 0.8]: diminishing footprint
+    adjusted[_METRIC_INDEX["cpu_steal"]] += 70.0 * saturation
+    adjusted[_METRIC_INDEX["cpu_iowait"]] += 25.0 * saturation
+    adjusted[_METRIC_INDEX["cpu_percent"]] = min(
+        100.0, adjusted[_METRIC_INDEX["cpu_percent"]] + 15.0 * saturation
+    )
+    adjusted[_METRIC_INDEX["load_avg_1m"]] *= 1.0 + excess
+    adjusted[_METRIC_INDEX["cache_miss_ratio"]] = min(
+        0.98, adjusted[_METRIC_INDEX["cache_miss_ratio"]] * (1.0 + 0.5 * saturation)
+    )
+    adjusted[_METRIC_INDEX["mem_bandwidth_util"]] *= 1.0 + 0.6 * saturation
+    adjusted[_METRIC_INDEX["disk_await_ms"]] *= 1.0 + excess
+    return adjusted
+
+
 @dataclass
 class TelemetrySample:
     """A single guest-OS metric snapshot taken during a measurement."""

@@ -14,7 +14,9 @@ design section:
 * :mod:`repro.core.scheduler` — node placement that never re-runs a config on
   a node it already used (§5.1).
 * :mod:`repro.core.async_engine` — discrete-event cluster simulation for
-  asynchronous batched execution: per-worker timelines, makespan accounting.
+  asynchronous batched execution: per-worker timelines, makespan accounting,
+  fault-model duration stretch and speculative re-execution of stragglers
+  (the models and policies live in :mod:`repro.faults`).
 * :mod:`repro.core.samplers` — the full TUNA pipeline plus the baselines it
   is compared against (traditional single-node sampling and naive
   distributed sampling, §6).

@@ -22,19 +22,40 @@ supplies the missing machinery:
 request in flight, the whole cluster advanced uniformly by the driver after
 each completion — which is the batch-size-1 equivalence gate: same seeds
 must yield bit-for-bit the same samples as the sequential loop.
+
+Runtime variability rides on top of this determinism: an optional
+:class:`~repro.faults.FaultModel` stretches each work item's duration when
+it is submitted (seeded per-worker streams, so a fixed seed reproduces the
+injected noise exactly), and an optional
+:class:`~repro.faults.SpeculationPolicy` arms straggler mitigation — runs
+whose elapsed time exceeds the quantile threshold of the completed
+population are duplicated onto the fastest idle eligible worker,
+first-finish-wins, the loser cancelled and its worker released.  With the
+``"none"`` model (or no model) both features are structurally inert: no RNG
+is consumed and no code path differs, so trajectories are bit-for-bit the
+legacy ones.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.cluster import Cluster
+from repro.cloud.telemetry import apply_interference_signature
 from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
 from repro.core.datastore import Sample
 from repro.core.execution import ExecutionEngine
+from repro.faults import (
+    FaultContext,
+    FaultModel,
+    SpeculationPolicy,
+    SpeculationStats,
+    StragglerDetector,
+    build_fault_model,
+)
 
 
 @dataclass
@@ -59,7 +80,13 @@ class WorkRequest:
 
 @dataclass
 class WorkItem:
-    """One sample of one request on one worker, with its scheduled times."""
+    """One sample of one request on one worker, with its scheduled times.
+
+    ``stretch`` is the fault model's duration multiplier (1.0 when nothing
+    was injected); ``speculative`` marks a duplicate launched by straggler
+    mitigation, and ``cancelled`` the losing side of a first-finish-wins
+    pair (cancelled items are never evaluated).
+    """
 
     request: WorkRequest
     vm: VirtualMachine
@@ -67,6 +94,9 @@ class WorkItem:
     finish_hours: float
     sequence: int
     sample: Optional[Sample] = None
+    stretch: float = 1.0
+    speculative: bool = False
+    cancelled: bool = False
 
 
 class ClusterEventLoop:
@@ -77,14 +107,28 @@ class ClusterEventLoop:
     orchestrator decided to submit it — and completion events pop in
     ``(finish time, submission order)`` order, which makes the simulation
     deterministic for a fixed submission sequence.
+
+    An optional fault model stretches durations at submission time; with no
+    model (or the ``"none"`` model) the arithmetic is bit-for-bit the legacy
+    ``start + duration``.  Items can be :meth:`cancel`-led (speculative
+    first-finish-wins losers): a cancelled item never pops as a completion,
+    and its worker is released back to ``max(start, now)`` when it was the
+    last entry on that worker's queue.
     """
 
-    def __init__(self, cluster: Cluster, lockstep: bool = False) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        lockstep: bool = False,
+        fault_model: "FaultModel | str | None" = None,
+    ) -> None:
         self.cluster = cluster
         self.lockstep = lockstep
+        self.fault_model = build_fault_model(fault_model)
         self._free_at: Dict[str, float] = {vm.vm_id: 0.0 for vm in cluster.workers}
         self._events: List[Tuple[float, int, WorkItem]] = []
         self._sequence = 0
+        self._n_cancelled = 0
         #: Simulated time of the orchestrator = finish time of the last
         #: completion processed (monotone non-decreasing).
         self.now = 0.0
@@ -92,7 +136,13 @@ class ClusterEventLoop:
         self.makespan = 0.0
 
     # -- submit ---------------------------------------------------------------
-    def submit(self, request: WorkRequest, vm: VirtualMachine, duration_hours: float) -> WorkItem:
+    def submit(
+        self,
+        request: WorkRequest,
+        vm: VirtualMachine,
+        duration_hours: float,
+        speculative: bool = False,
+    ) -> WorkItem:
         if duration_hours <= 0:
             raise ValueError("duration_hours must be positive")
         if vm.vm_id not in self._free_at:
@@ -103,9 +153,30 @@ class ClusterEventLoop:
             start = self.now
         else:
             start = max(self._free_at[vm.vm_id], self.now)
-        finish = start + duration_hours
+        stretch = 1.0
+        if self.fault_model is not None and not self.fault_model.is_null:
+            context = FaultContext(
+                worker_id=vm.vm_id,
+                start_hours=start,
+                duration_hours=duration_hours,
+                concurrent_items=self.n_in_flight,
+                n_workers=len(self._free_at),
+                speculative=speculative,
+            )
+            stretch = max(float(self.fault_model.stretch(context)), 0.05)
+            finish = start + duration_hours * stretch
+        else:
+            finish = start + duration_hours
         self._free_at[vm.vm_id] = finish
-        item = WorkItem(request, vm, start, finish, self._sequence)
+        item = WorkItem(
+            request,
+            vm,
+            start,
+            finish,
+            self._sequence,
+            stretch=stretch,
+            speculative=speculative,
+        )
         heapq.heappush(self._events, (finish, self._sequence, item))
         self._sequence += 1
         return item
@@ -113,20 +184,73 @@ class ClusterEventLoop:
     # -- introspection --------------------------------------------------------
     @property
     def n_in_flight(self) -> int:
-        return len(self._events)
+        return len(self._events) - self._n_cancelled
 
     def worker_free_at(self, vm_id: str) -> float:
         return self._free_at[vm_id]
 
+    def idle_workers(self) -> List[VirtualMachine]:
+        """Workers whose queue has drained at the current simulated time."""
+        return [
+            vm for vm in self.cluster.workers if self._free_at[vm.vm_id] <= self.now
+        ]
+
     def peek_finish(self) -> Optional[float]:
         """Finish time of the earliest pending completion (None when idle)."""
+        self._purge_cancelled_heads()
         if not self._events:
             return None
         return self._events[0][0]
 
+    # -- cancellation ----------------------------------------------------------
+    def cancel(self, item: WorkItem) -> None:
+        """Cancel a pending item (it will never pop as a completion).
+
+        If the item was the last entry on its worker's queue, the worker is
+        released back to ``max(item start, now)`` — the moment the cancel
+        was decided for a running item, or the item's scheduled start for
+        one still queued.  Items queued *behind* the cancelled one keep
+        their scheduled times (conservative, and deterministic).
+        """
+        if item.sample is not None:
+            raise RuntimeError("cannot cancel an already-evaluated item")
+        if item.cancelled:
+            return
+        item.cancelled = True
+        self._n_cancelled += 1
+        vm_id = item.vm.vm_id
+        if self._free_at[vm_id] == item.finish_hours:
+            self._free_at[vm_id] = max(
+                item.start_hours, min(self.now, item.finish_hours)
+            )
+
+    def _purge_cancelled_heads(self) -> None:
+        """Drop cancelled items sitting at the top of the event heap."""
+        while self._events and self._events[0][2].cancelled:
+            heapq.heappop(self._events)
+            self._n_cancelled -= 1
+
+    def advance_now(self, hours: float) -> None:
+        """Advance the orchestrator clock without a completion.
+
+        Used for *detection events*: straggler mitigation acts at the
+        simulated instant an in-flight run crosses the detection threshold,
+        which generally falls between completions.  Monotone (never moves
+        backwards) and never touches the makespan — only real completions
+        define wall-clock.
+        """
+        if hours > self.now:
+            self.now = hours
+
     # -- completions ----------------------------------------------------------
     def next_completion(self) -> WorkItem:
-        """Pop the earliest pending completion and advance ``now`` to it."""
+        """Pop the earliest pending live completion and advance ``now`` to it.
+
+        Cancelled items are skipped silently; they advance neither ``now``
+        nor the makespan (their worker was already released by
+        :meth:`cancel`).
+        """
+        self._purge_cancelled_heads()
         if not self._events:
             raise RuntimeError("no work in flight")
         finish, _, item = heapq.heappop(self._events)
@@ -144,6 +268,17 @@ class AsyncExecutionEngine:
     events fire (in completion order, so the measurement RNG follows the
     cluster's simulated schedule), and returns requests once their last
     sample has finished.
+
+    Straggler mitigation (optional, ``speculation=``): at every completion
+    event, in-flight runs whose speed-normalised elapsed time exceeds the
+    :class:`~repro.faults.StragglerDetector` threshold are duplicated onto
+    the fastest idle worker the configuration has never touched.  The first
+    copy to finish supplies the slot's sample; the other is cancelled and
+    its worker released — so the driver (and through it the optimizer) sees
+    exactly one result per sample, speculation or not.  When a task
+    scheduler is wired in, duplicate workers are reserved/released and their
+    load recorded through it, and :meth:`speculative_workers_for` lets the
+    sampler exclude in-flight duplicates from regular placement.
     """
 
     def __init__(
@@ -151,11 +286,35 @@ class AsyncExecutionEngine:
         execution: ExecutionEngine,
         cluster: Cluster,
         lockstep: bool = False,
+        fault_model: "FaultModel | str | None" = None,
+        speculation: "SpeculationPolicy | bool | None" = None,
+        scheduler=None,
+        used_workers_fn: Optional[Callable[[Configuration], Sequence[str]]] = None,
     ) -> None:
         self.execution = execution
         self.cluster = cluster
         self.lockstep = lockstep
-        self.loop = ClusterEventLoop(cluster, lockstep=lockstep)
+        fault_model = build_fault_model(fault_model)
+        if speculation is True:
+            speculation = SpeculationPolicy()
+        elif speculation is False:
+            speculation = None
+        if lockstep:
+            if fault_model is not None and not fault_model.is_null:
+                raise ValueError(
+                    "fault injection is not supported in lockstep mode "
+                    "(it is the bit-for-bit equivalence gate)"
+                )
+            if speculation is not None:
+                raise ValueError("speculation needs concurrent workers; not lockstep")
+        self.loop = ClusterEventLoop(cluster, lockstep=lockstep, fault_model=fault_model)
+        self.speculation = speculation
+        self.stats = SpeculationStats()
+        self._detector = (
+            StragglerDetector(speculation) if speculation is not None else None
+        )
+        self._scheduler = scheduler
+        self._used_workers_fn = used_workers_fn
         # Simulated time 0 corresponds to each worker's clock at engine
         # construction; used to keep VM-local clocks on their own timelines.
         self._clock_origin: Dict[str, float] = {
@@ -166,6 +325,13 @@ class AsyncExecutionEngine:
         self._request_ids: Dict[int, WorkRequest] = {}
         self._next_request_id = 0
         self._request_id_of: Dict[int, int] = {}  # item sequence -> request id
+        # Speculation bookkeeping (all keyed by item sequence / config).
+        self._live: Dict[int, WorkItem] = {}  # in-flight, not cancelled
+        self._clone_of: Dict[int, int] = {}  # clone seq -> original seq
+        self._clones_of: Dict[int, List[int]] = {}  # original seq -> live clone seqs
+        self._n_clones: Dict[int, int] = {}  # original seq -> clones launched
+        self._flagged: Set[int] = set()  # originals already counted as stragglers
+        self._config_workers: Dict[Configuration, Set[str]] = {}
         self.n_submitted_requests = 0
         self.n_completed_requests = 0
 
@@ -192,10 +358,13 @@ class AsyncExecutionEngine:
         self._request_ids[request_id] = request
         self._remaining[request_id] = len(request.vms)
         self._samples[request_id] = []
+        assigned = self._config_workers.setdefault(request.config, set())
         items = []
         for vm in request.vms:
             item = self.loop.submit(request, vm, self.duration_for(vm))
             self._request_id_of[item.sequence] = request_id
+            self._live[item.sequence] = item
+            assigned.add(vm.vm_id)
             items.append(item)
         self.n_submitted_requests += 1
         return items
@@ -233,6 +402,17 @@ class AsyncExecutionEngine:
         sample = self.execution.evaluate_on(
             item.request.config, vm, item.request.iteration, item.request.budget
         )
+        if item.stretch > 1.0:
+            # The injected slowdown leaves a guest-visible footprint (steal
+            # time, queueing) so the noise adjuster sees a signal correlated
+            # with the fault, exactly like genuine interference would.
+            if sample.telemetry is not None:
+                sample.telemetry = apply_interference_signature(
+                    sample.telemetry, item.stretch
+                )
+            sample.details["fault_stretch"] = item.stretch
+        if item.speculative:
+            sample.details["speculative"] = True
         item.sample = sample
         return sample
 
@@ -249,12 +429,41 @@ class AsyncExecutionEngine:
                 return result
 
     def _process_next_item(self) -> Optional[Tuple[WorkRequest, List[Sample]]]:
-        """Pop and evaluate one completion; return its request if it is done."""
+        """Pop and evaluate one completion; return its request if it is done.
+
+        First-finish-wins reconciliation happens here: whichever side of a
+        speculative pair pops first supplies the slot's sample, and the
+        other side is cancelled before any evaluation — so exactly one
+        sample per work item ever reaches the datastore and the optimizer,
+        and the losing worker is released at the winner's finish time.
+        """
+        self._speculate_at_crossings()
         item = self.loop.next_completion()
+        self._live.pop(item.sequence, None)
         request_id = self._request_id_of.pop(item.sequence)
+        if item.speculative:
+            # The duplicate won the race: cancel the straggling original and
+            # any sibling duplicates of the same slot.
+            original_seq = self._clone_of.pop(item.sequence)
+            self._cancel_clones_of(original_seq, keep=item.sequence)
+            original = self._live.pop(original_seq, None)
+            if original is not None:
+                self._cancel_item(original)
+            self.stats.n_duplicate_wins += 1
+            if self._scheduler is not None:
+                self._scheduler.release([item.vm.vm_id])
+        else:
+            # The original finished first after all: cancel its duplicates.
+            self._cancel_clones_of(item.sequence)
         sample = self._evaluate(item)
+        if self._detector is not None:
+            self._detector.observe(
+                self.execution.work_units(item.vm, item.finish_hours - item.start_hours)
+            )
+            self.stats.detection_threshold_hours = self._detector.threshold()
         self._samples[request_id].append(sample)
         self._remaining[request_id] -= 1
+        self._maybe_speculate()
         if self._remaining[request_id] != 0:
             return None
         request = self._request_ids.pop(request_id)
@@ -262,6 +471,167 @@ class AsyncExecutionEngine:
         del self._remaining[request_id]
         self.n_completed_requests += 1
         return request, samples
+
+    # -- speculative re-execution ---------------------------------------------
+    def _cancel_clones_of(self, original_seq: int, keep: Optional[int] = None) -> None:
+        """Cancel every live duplicate of a slot (except the winner, if any).
+
+        Each cancelled duplicate lost its race: its engine-owned scheduler
+        reservation is released and it counts as a duplicate loss.
+        """
+        for clone_seq in self._clones_of.pop(original_seq, []):
+            if clone_seq == keep:
+                continue
+            self._clone_of.pop(clone_seq, None)
+            clone = self._live.pop(clone_seq, None)
+            if clone is None:
+                continue
+            self._cancel_item(clone)
+            if self._scheduler is not None:
+                self._scheduler.release([clone.vm.vm_id])
+            self.stats.n_duplicate_losses += 1
+
+    def _cancel_item(self, item: WorkItem) -> None:
+        """Cancel a pending item and drop its request bookkeeping.
+
+        The winner of the pair decrements the request's remaining count, so
+        the loser just disappears; its scheduler reservation is handled by
+        the caller (duplicates are engine-owned, originals sampler-owned).
+        """
+        self.loop.cancel(item)
+        self._request_id_of.pop(item.sequence, None)
+        self._flagged.discard(item.sequence)
+        self.stats.n_items_cancelled += 1
+
+    def speculative_workers_for(self, config: Configuration) -> List[str]:
+        """Workers currently running a speculative duplicate of ``config``.
+
+        The sampler's placement excludes these so a regular sample of the
+        same configuration cannot land on a node that is about to hold the
+        duplicate's result (which would break the distinct-node budget).
+        """
+        return [
+            item.vm.vm_id
+            for item in self._live.values()
+            if item.speculative and item.request.config == config
+        ]
+
+    def _speculate_at_crossings(self) -> None:
+        """Process straggler *detection events* before the next completion.
+
+        In a real cluster the monitor notices a straggler the moment its
+        elapsed time crosses the threshold — usually between completions.
+        Waiting for the next completion would miss exactly the worst case:
+        a tail straggler with nothing else in flight (nothing completes
+        until the straggler itself does).  So before popping a completion,
+        the clock advances to each in-flight run's threshold-crossing time
+        that falls earlier, and the duplicate launches there.  Deterministic:
+        crossings are processed in (time, submission order) and consume no
+        RNG.
+        """
+        if self.speculation is None or self._detector is None:
+            return
+        while True:
+            threshold = self._detector.threshold()
+            if threshold is None:
+                return
+            next_finish = self.loop.peek_finish()
+            if next_finish is None:
+                return
+            crossings = []
+            for sequence, item in self._live.items():
+                if item.speculative:
+                    continue
+                if self._n_clones.get(sequence, 0) >= self.speculation.max_clones_per_item:
+                    continue
+                # Normalised elapsed reaches the threshold at this instant.
+                crossing = item.start_hours + threshold / item.vm.speed_factor
+                if crossing < next_finish:
+                    crossings.append((crossing, sequence, item))
+            if not crossings:
+                return
+            crossings.sort(key=lambda entry: (entry[0], entry[1]))
+            progressed = False
+            for crossing, sequence, item in crossings:
+                next_finish = self.loop.peek_finish()
+                if next_finish is not None and crossing >= next_finish:
+                    break  # a clone launched this pass moved the horizon
+                self.loop.advance_now(crossing)
+                if sequence not in self._flagged:
+                    self._flagged.add(sequence)
+                    self.stats.n_stragglers_detected += 1
+                clone_vm = self._pick_speculative_worker(item)
+                if clone_vm is None:
+                    continue  # nobody idle and eligible at the crossing
+                self._submit_clone(item, clone_vm)
+                progressed = True
+            if not progressed:
+                return
+
+    def _maybe_speculate(self) -> None:
+        """LATE-style check at a completion event: clone flagged stragglers.
+
+        Runs whose speed-normalised elapsed time exceeds the detector
+        threshold are flagged (counted once) and, as soon as an idle
+        eligible worker exists, duplicated onto the fastest such worker.
+        Deterministic: the live-item scan follows submission order, worker
+        ranking is by (speed, cluster index), and no RNG is consumed.
+        """
+        if self.speculation is None or self._detector is None:
+            return
+        threshold = self._detector.threshold()
+        if threshold is None:
+            return
+        now = self.loop.now
+        for sequence in list(self._live):
+            item = self._live.get(sequence)
+            if item is None or item.speculative or item.cancelled:
+                continue
+            if self._n_clones.get(sequence, 0) >= self.speculation.max_clones_per_item:
+                continue
+            if item.start_hours > now:
+                continue  # still queued behind other work, not running
+            elapsed = self.execution.work_units(item.vm, now - item.start_hours)
+            if elapsed <= threshold:
+                continue
+            if sequence not in self._flagged:
+                self._flagged.add(sequence)
+                self.stats.n_stragglers_detected += 1
+            clone_vm = self._pick_speculative_worker(item)
+            if clone_vm is None:
+                continue  # no idle eligible worker right now; retry later
+            self._submit_clone(item, clone_vm)
+
+    def _pick_speculative_worker(self, item: WorkItem) -> Optional[VirtualMachine]:
+        """Fastest idle worker the item's configuration has never touched."""
+        config = item.request.config
+        excluded = set(self._config_workers.get(config, ()))
+        if self._used_workers_fn is not None:
+            excluded.update(self._used_workers_fn(config))
+        candidates = [
+            vm for vm in self.loop.idle_workers() if vm.vm_id not in excluded
+        ]
+        if not candidates:
+            return None
+        if self._scheduler is not None:
+            return self._scheduler.rank_speculative(candidates)[0]
+        order = {vm.vm_id: i for i, vm in enumerate(self.cluster.workers)}
+        return min(candidates, key=lambda vm: (-vm.speed_factor, order[vm.vm_id]))
+
+    def _submit_clone(self, item: WorkItem, vm: VirtualMachine) -> None:
+        """Launch the speculative duplicate of a straggling item."""
+        request = item.request
+        clone = self.loop.submit(request, vm, self.duration_for(vm), speculative=True)
+        self._live[clone.sequence] = clone
+        self._request_id_of[clone.sequence] = self._request_id_of[item.sequence]
+        self._clone_of[clone.sequence] = item.sequence
+        self._clones_of.setdefault(item.sequence, []).append(clone.sequence)
+        self._n_clones[item.sequence] = self._n_clones.get(item.sequence, 0) + 1
+        self._config_workers.setdefault(request.config, set()).add(vm.vm_id)
+        if self._scheduler is not None:
+            self._scheduler.reserve([vm.vm_id])
+            self._scheduler.record_external_load(vm.vm_id)
+        self.stats.n_duplicates_submitted += 1
 
     def next_completed_requests(self) -> List[Tuple[WorkRequest, List[Sample]]]:
         """Drain one *wave* of completions: every request finishing at the

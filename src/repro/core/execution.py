@@ -118,6 +118,17 @@ class ExecutionEngine:
         """
         return self.wall_clock_hours_per_evaluation / vm.speed_factor
 
+    def work_units(self, vm: VirtualMachine, observed_hours: float) -> float:
+        """Speed-normalise an observed wall-clock duration on a worker.
+
+        Multiplying by the SKU's speed factor converts "hours on this
+        worker" into "hours on a reference-speed worker", so straggler
+        detection compares like with like in a mixed fleet — a slow SKU's
+        legitimately longer runs do not read as stragglers, and a genuine
+        slowdown reads the same no matter which SKU it hit.
+        """
+        return float(observed_hours) * vm.speed_factor
+
     def request_duration_hours(self, vms: Sequence[VirtualMachine]) -> float:
         """Wall-clock cost of one request: its samples run in parallel, so
         the slowest assigned worker dominates.  Zero for an empty node set

@@ -62,6 +62,12 @@ class Sampler(abc.ABC):
 
     name = "abstract"
 
+    #: Optional hook set by the asynchronous driver when speculative
+    #: re-execution is armed: maps a configuration to the workers currently
+    #: running speculative duplicates of it, so placement can exclude them.
+    #: ``None`` (the default) means no exclusions — the legacy behaviour.
+    speculation_probe = None
+
     def __init__(
         self,
         optimizer: Optimizer,
@@ -246,6 +252,10 @@ class TunaSampler(Sampler):
         and region diversity — on a homogeneous cluster it reproduces the
         legacy placement bit-for-bit; ``"fifo"`` is the naive round-robin
         baseline the heterogeneous-fleet benchmark compares against.
+    liar:
+        Constant-liar strategy for in-flight fantasies (``"min"``,
+        ``"mean"`` or ``"max"``); the §6.6-style ablation knob.  The default
+        ``"min"`` is the legacy behaviour, bit-for-bit.
     """
 
     name = "tuna"
@@ -263,6 +273,7 @@ class TunaSampler(Sampler):
         use_noise_adjuster: bool = True,
         use_outlier_detector: bool = True,
         placement: str = "heterogeneity",
+        liar: str = "min",
     ) -> None:
         super().__init__(optimizer, execution, cluster, seed=seed)
         if budgets[-1] > cluster.n_workers:
@@ -284,6 +295,7 @@ class TunaSampler(Sampler):
             worker_ids=cluster.worker_ids,
             seed=int(self._rng.integers(0, 2**31 - 1)),
         )
+        self.liar = liar
         self._catalog: Dict[Configuration, Tuple[int, float]] = {}  # budget, value
         self._unstable_configs: set = set()
         # Workers currently running in-flight samples of a configuration
@@ -297,7 +309,7 @@ class TunaSampler(Sampler):
         if promotion is not None:
             config, budget = promotion
             return config, budget, "promotion"
-        config = self.optimizer.ask_batch(1)[0]
+        config = self.optimizer.ask_batch(1, liar=self.liar)[0]
         # With several requests in flight the optimizer can re-suggest a
         # configuration whose samples have not landed yet.  The constant-liar
         # fantasy recorded by the duplicate ask steers the next suggestion
@@ -306,7 +318,7 @@ class TunaSampler(Sampler):
         for _ in range(4):
             if config not in self._in_flight:
                 break
-            config = self.optimizer.ask_batch(1)[0]
+            config = self.optimizer.ask_batch(1, liar=self.liar)[0]
         return config, self.schedule.min_budget, "new"
 
     def _adjust_samples(self, samples: List[Sample], unstable: bool) -> List[float]:
@@ -345,8 +357,18 @@ class TunaSampler(Sampler):
                 f"promotion deferred: samples of {config!r} are still in flight"
             )
         used_workers = self.datastore.workers_used(config)
+        # Workers running speculative duplicates of this configuration hold
+        # a result for an *existing* slot: exclude them from placement
+        # without letting them count towards the budget.
+        speculative = (
+            list(self.speculation_probe(config))
+            if self.speculation_probe is not None
+            else []
+        )
         try:
-            vms = self.scheduler.assign(config, budget, used_workers + in_flight)
+            vms = self.scheduler.assign(
+                config, budget, used_workers + in_flight, excluded=speculative
+            )
             if not vms and not used_workers:
                 # Every sample counting towards the budget is still in
                 # flight, so there is nothing to aggregate yet; schedule one
@@ -356,6 +378,7 @@ class TunaSampler(Sampler):
                     config,
                     min(len(in_flight) + 1, self.scheduler.n_workers),
                     in_flight,
+                    excluded=speculative,
                 )
                 if not vms:
                     # In-flight duplicates already occupy every worker; an
@@ -476,7 +499,10 @@ class TunaSampler(Sampler):
         surrogate refits once per wave instead of once per landed result
         (single-``tell`` semantics are unchanged: same observations, same
         retracted fantasies, one cache invalidation instead of several).
+        An empty wave is a no-op: nothing recorded, no data-version bump.
         """
+        if not completed:
+            return []
         tells: List[Tuple[Configuration, float, float]] = []
         reports = [
             self._complete(request, samples, deferred_tells=tells)

@@ -158,6 +158,23 @@ class MultiFidelityTaskScheduler:
             region_usage[region] = region_usage.get(region, 0) + 1
         return ordered
 
+    def rank_speculative(
+        self, eligible: Sequence[VirtualMachine]
+    ) -> List[VirtualMachine]:
+        """Ranking for speculative duplicate placement: fastest worker first.
+
+        A duplicate races an already-straggling run, so raw speed dominates
+        every other concern; ties break on cluster position.  Deliberately
+        RNG-free — straggler mitigation fires between regular placements and
+        must not perturb the scheduler's tie-break stream (that would break
+        the ``"none"``-model equivalence guarantee the moment a speculation
+        policy is merely *armed*).
+        """
+        return sorted(
+            eligible,
+            key=lambda vm: (-self._speed[vm.vm_id], self._index[vm.vm_id]),
+        )
+
     def _rank_fifo(self, eligible: List[VirtualMachine]) -> List[VirtualMachine]:
         """Naive round-robin: next worker in fixed order, blind to speed,
         queue depth and regions — the heterogeneity-oblivious baseline."""
@@ -172,12 +189,18 @@ class MultiFidelityTaskScheduler:
         config: Configuration,
         target_budget: int,
         already_used: Sequence[str],
+        excluded: Sequence[str] = (),
     ) -> List[VirtualMachine]:
         """Pick the nodes for the samples still needed to reach a budget.
 
         Returns an empty list when the configuration already has samples from
         ``target_budget`` distinct nodes.  Raises if the budget exceeds the
         cluster size.
+
+        ``excluded`` workers are removed from the eligible set *without*
+        counting towards the budget — used for nodes running a speculative
+        duplicate of this configuration, whose eventual result occupies an
+        existing slot rather than a new one.
         """
         if target_budget < 1:
             raise ValueError("target_budget must be >= 1")
@@ -189,7 +212,7 @@ class MultiFidelityTaskScheduler:
         needed = target_budget - len(used)
         if needed <= 0:
             return []
-        eligible = self.eligible_workers(config, used)
+        eligible = self.eligible_workers(config, list(used) + list(excluded))
         if len(eligible) < needed:
             raise RuntimeError(
                 "not enough unused workers to honour the budget: "

@@ -19,6 +19,7 @@ from repro.configspace import Configuration
 from repro.core.async_engine import AsyncExecutionEngine
 from repro.core.execution import ExecutionEngine
 from repro.core.samplers import IterationReport, Sampler
+from repro.faults import build_fault_model
 from repro.ml.metrics import coefficient_of_variation, relative_range
 from repro.systems.base import SystemUnderTest
 from repro.workloads.base import Workload
@@ -26,7 +27,12 @@ from repro.workloads.base import Workload
 
 @dataclass
 class TuningResult:
-    """Everything a tuning run produced."""
+    """Everything a tuning run produced.
+
+    ``engine_stats`` carries the speculative re-execution counters
+    (stragglers detected, duplicates submitted/won/lost) when straggler
+    mitigation was armed; ``None`` otherwise.
+    """
 
     sampler_name: str
     workload_name: str
@@ -37,6 +43,7 @@ class TuningResult:
     n_iterations: int = 0
     n_samples: int = 0
     wall_clock_hours: float = 0.0
+    engine_stats: Optional[dict] = None
 
     def best_so_far_trace(self) -> List[float]:
         """Best *reported* value after each iteration (convergence curve)."""
@@ -116,6 +123,20 @@ class TuningLoop:
         whole, so a multi-node request entering below the watermark may
         momentarily push the in-flight count above it (a hard cap would
         deadlock any request wider than the remaining window).
+    fault_model:
+        Optional runtime-variability injection for the asynchronous engine:
+        a :class:`~repro.faults.FaultModel` instance or a registry name
+        (``"none"``, ``"lognormal"``, ``"interference"``, ``"brownout"``).
+        The ``"none"`` model (and ``None``) reproduce existing trajectories
+        bit-for-bit; any *active* model requires ``batch_size >= 2``
+        (lockstep mode is the equivalence gate and stays uninjected).
+    fault_seed:
+        Master seed for a fault model built from a name (ignored when an
+        instance is passed).
+    speculation:
+        Straggler mitigation: ``True`` for the default
+        :class:`~repro.faults.SpeculationPolicy`, or a policy instance.
+        Requires ``batch_size >= 2`` (duplicates need idle workers).
     """
 
     #: Abort after this many *consecutive* iterations that schedule no new
@@ -133,6 +154,9 @@ class TuningLoop:
         wall_clock_hours: Optional[float] = None,
         max_samples: Optional[int] = None,
         batch_size: Optional[int] = None,
+        fault_model=None,
+        fault_seed: Optional[int] = None,
+        speculation=None,
     ) -> None:
         if n_iterations is None and wall_clock_hours is None and max_samples is None:
             raise ValueError(
@@ -148,6 +172,20 @@ class TuningLoop:
         self.wall_clock_hours = wall_clock_hours
         self.max_samples = max_samples
         self.batch_size = batch_size
+        self.fault_model = build_fault_model(fault_model, seed=fault_seed)
+        self.speculation = speculation if speculation not in (False,) else None
+        fault_active = self.fault_model is not None and not self.fault_model.is_null
+        if fault_active and (batch_size is None or batch_size < 2):
+            raise ValueError(
+                "an active fault model requires batch_size >= 2: the "
+                "sequential and lockstep paths are the bit-for-bit "
+                "equivalence gates and stay uninjected"
+            )
+        if self.speculation is not None and (batch_size is None or batch_size < 2):
+            raise ValueError(
+                "speculative re-execution requires batch_size >= 2 "
+                "(duplicates race on otherwise-idle workers)"
+            )
 
     def _should_stop(self, iteration: int, hours: float, samples: int) -> bool:
         if self.n_iterations is not None and iteration >= self.n_iterations:
@@ -173,7 +211,13 @@ class TuningLoop:
 
     def run(self) -> TuningResult:
         if self.batch_size is not None:
-            return self._run_async(self.batch_size)
+            try:
+                return self._run_async(self.batch_size)
+            finally:
+                # The speculation probe binds the sampler to this run's
+                # engine; never leave it dangling (even on abort).
+                if self.speculation is not None:
+                    self.sampler.speculation_probe = None
         return self._run_sequential()
 
     def _run_sequential(self) -> TuningResult:
@@ -225,8 +269,18 @@ class TuningLoop:
         """
         lockstep = batch_size == 1
         engine = AsyncExecutionEngine(
-            self.sampler.execution, self.sampler.cluster, lockstep=lockstep
+            self.sampler.execution,
+            self.sampler.cluster,
+            lockstep=lockstep,
+            fault_model=self.fault_model,
+            speculation=self.speculation,
+            scheduler=getattr(self.sampler, "scheduler", None),
+            used_workers_fn=self.sampler.datastore.workers_used,
         )
+        if engine.speculation is not None:
+            # Let placement exclude workers running speculative duplicates
+            # (their eventual result occupies an existing budget slot).
+            self.sampler.speculation_probe = engine.speculative_workers_for
         history: List[IterationReport] = []
         hours = 0.0
         samples = 0
@@ -308,6 +362,9 @@ class TuningLoop:
             n_iterations=completed,
             n_samples=samples,
             wall_clock_hours=wall_clock,
+            engine_stats=(
+                engine.stats.as_dict() if engine.speculation is not None else None
+            ),
         )
 
 

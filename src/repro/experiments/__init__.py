@@ -14,6 +14,7 @@ module                      paper figures
 ``generalization``          Figs. 11a-d, 12, 13, 14, 15
 ``equal_cost``              Figs. 16, 17
 ``component_analysis``      Figs. 18, 19, 20
+``straggler_study``         straggler mitigation (fault injection)
 ==========================  =====================================
 """
 
@@ -45,6 +46,12 @@ from repro.experiments.noise_convergence import (
     NoiseConvergenceResult,
     run_noise_convergence,
 )
+from repro.experiments.straggler_study import (
+    StragglerArm,
+    StragglerComparison,
+    format_straggler_report,
+    run_straggler_study,
+)
 from repro.experiments.unstable_configs import (
     DetectionCurve,
     RelativeRangeDistribution,
@@ -65,8 +72,11 @@ __all__ = [
     "MixedFleetSummary",
     "NoiseConvergenceResult",
     "RelativeRangeDistribution",
+    "StragglerArm",
+    "StragglerComparison",
     "TransferabilityResult",
     "compare_samplers",
+    "format_straggler_report",
     "detection_probability_curve",
     "format_mixed_fleet_report",
     "relative_range_distribution",
@@ -78,5 +88,6 @@ __all__ = [
     "run_noise_adjuster_ablation",
     "run_noise_convergence",
     "run_outlier_detector_ablation",
+    "run_straggler_study",
     "run_transferability_study",
 ]

@@ -1,0 +1,56 @@
+"""Stochastic interference & straggler fault injection.
+
+The event loop of :mod:`repro.core.async_engine` is deterministic by design:
+every sample's duration comes straight from its worker's SKU
+``perf_factor``.  Real clouds are not like that — the whole premise of the
+source paper is that tuning must survive performance *noise* — so this
+subsystem supplies pluggable stochastic duration models the event loop
+consults when computing each work item's finish time, plus the straggler
+machinery (quantile detection, speculative re-execution policy) the
+execution engine uses to mitigate them.
+
+Guarantees:
+
+* **Equivalence** — with the ``"none"`` model (or no model at all) every
+  trajectory is bit-for-bit identical to an uninjected run: no RNG is
+  consumed, no arithmetic changes.
+* **Reproducibility** — every model draws from seeded *per-worker* RNG
+  streams (spawned from one master seed keyed by worker id), so a fixed
+  seed and submission sequence yield identical stretches regardless of how
+  many workers exist or in which order they are queried.
+
+See :mod:`repro.faults.models` for the duration models and
+:mod:`repro.faults.straggler` for detection/speculation.
+"""
+
+from repro.faults.models import (
+    FAULT_MODELS,
+    BrownoutModel,
+    CompositeFaultModel,
+    FaultContext,
+    FaultModel,
+    InterferenceBurstModel,
+    LognormalTailModel,
+    NoFaultModel,
+    build_fault_model,
+)
+from repro.faults.straggler import (
+    SpeculationPolicy,
+    SpeculationStats,
+    StragglerDetector,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "BrownoutModel",
+    "CompositeFaultModel",
+    "FaultContext",
+    "FaultModel",
+    "InterferenceBurstModel",
+    "LognormalTailModel",
+    "NoFaultModel",
+    "SpeculationPolicy",
+    "SpeculationStats",
+    "StragglerDetector",
+    "build_fault_model",
+]

@@ -1,0 +1,111 @@
+"""Straggler detection and speculative re-execution policy (LATE-style).
+
+A *straggler* is a run whose elapsed time already exceeds what the completed
+population suggests it should have needed.  Detection is quantile-based over
+**speed-normalised** durations (observed wall-clock times the worker's SKU
+factor), so a slow SKU's legitimately longer runs never read as stragglers
+in a heterogeneous fleet — the same Gavel-style normalisation the placement
+ranking uses.
+
+The policy is deliberately conservative, mirroring classic speculative
+execution (Zaharia et al., OSDI'08): wait for a minimum history, flag an
+in-flight run once its normalised elapsed time passes
+``quantile(history) * slack``, and launch at most ``max_clones_per_item``
+duplicate on an idle worker.  The execution engine owns the mechanics
+(first-finish-wins, cancellation, worker release); this module owns the
+*decision*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """Tunables of the speculative re-execution decision."""
+
+    #: Quantile of completed normalised durations that anchors the threshold.
+    quantile: float = 0.9
+    #: Multiplier on the quantile: how far past "normal" a run must be.
+    #: Chasing mild (<1.5x) slowdowns wastes duplicate capacity for little
+    #: makespan gain, so the default only fires well past the populace.
+    slack: float = 1.5
+    #: Completed runs required before any detection fires (cold-start guard).
+    min_history: int = 5
+    #: Duplicates allowed per work item (first-finish-wins per pair).
+    max_clones_per_item: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.slack < 1.0:
+            raise ValueError("slack must be >= 1.0")
+        if self.min_history < 1:
+            raise ValueError("min_history must be >= 1")
+        if self.max_clones_per_item < 1:
+            raise ValueError("max_clones_per_item must be >= 1")
+
+
+class StragglerDetector:
+    """Quantile detector over completed-sample duration statistics."""
+
+    def __init__(self, policy: Optional[SpeculationPolicy] = None) -> None:
+        self.policy = policy if policy is not None else SpeculationPolicy()
+        self._durations: List[float] = []
+        self._threshold: Optional[float] = None  # cache, invalidated by observe
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._durations)
+
+    def observe(self, normalized_duration: float) -> None:
+        """Record one completed run's speed-normalised duration."""
+        if normalized_duration < 0:
+            raise ValueError("durations cannot be negative")
+        self._durations.append(float(normalized_duration))
+        self._threshold = None
+
+    def threshold(self) -> Optional[float]:
+        """Normalised elapsed time beyond which a run counts as straggling.
+
+        ``None`` while the history is shorter than the policy's
+        ``min_history`` — no detection fires during cold start.
+        """
+        if len(self._durations) < self.policy.min_history:
+            return None
+        if self._threshold is None:
+            anchor = float(np.quantile(self._durations, self.policy.quantile))
+            self._threshold = anchor * self.policy.slack
+        return self._threshold
+
+    def is_straggler(self, normalized_elapsed: float) -> bool:
+        threshold = self.threshold()
+        return threshold is not None and normalized_elapsed > threshold
+
+
+@dataclass
+class SpeculationStats:
+    """What the speculative re-execution machinery did during a run."""
+
+    n_stragglers_detected: int = 0
+    n_duplicates_submitted: int = 0
+    n_duplicate_wins: int = 0
+    n_duplicate_losses: int = 0
+    n_items_cancelled: int = 0
+    detection_threshold_hours: Optional[float] = None
+    extra: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "n_stragglers_detected": self.n_stragglers_detected,
+            "n_duplicates_submitted": self.n_duplicates_submitted,
+            "n_duplicate_wins": self.n_duplicate_wins,
+            "n_duplicate_losses": self.n_duplicate_losses,
+            "n_items_cancelled": self.n_items_cancelled,
+            "detection_threshold_hours": self.detection_threshold_hours,
+            **self.extra,
+        }

@@ -9,7 +9,12 @@ ask/tell interface that minimises *cost* (lower is better).
 """
 
 from repro.optimizers.acquisition import expected_improvement, upper_confidence_bound
-from repro.optimizers.base import Optimizer, OptimizerObservation, objective_to_cost
+from repro.optimizers.base import (
+    LIAR_STRATEGIES,
+    Optimizer,
+    OptimizerObservation,
+    objective_to_cost,
+)
 from repro.optimizers.gp import GaussianProcessOptimizer
 from repro.optimizers.random_search import RandomSearchOptimizer
 from repro.optimizers.smac import SMACOptimizer
@@ -29,6 +34,7 @@ def build_optimizer(name: str, space, seed=None, **kwargs) -> Optimizer:
 
 __all__ = [
     "GaussianProcessOptimizer",
+    "LIAR_STRATEGIES",
     "Optimizer",
     "OptimizerObservation",
     "RandomSearchOptimizer",

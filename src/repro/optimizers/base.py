@@ -31,6 +31,14 @@ def cost_to_objective(cost: float, objective: Objective) -> float:
     return float(cost)
 
 
+#: Known constant-liar strategies for in-flight fantasies (§6.6 ablation):
+#: the lie recorded for a pending configuration is the best / mean / worst
+#: cost seen so far.  ``"min"`` is aggressive (assumes the pending point is
+#: great, pushes later asks far away); ``"max"`` is pessimistic (assumes it
+#: is poor, allows revisiting nearby); ``"mean"`` sits between.
+LIAR_STRATEGIES = ("min", "mean", "max")
+
+
 @dataclass
 class OptimizerObservation:
     """One (configuration, cost) observation reported to an optimizer."""
@@ -68,20 +76,22 @@ class Optimizer(abc.ABC):
     def ask(self) -> Configuration:
         """Suggest the next configuration to evaluate."""
 
-    def ask_batch(self, n: int) -> List[Configuration]:
+    def ask_batch(self, n: int, liar: str = "min") -> List[Configuration]:
         """Suggest ``n`` configurations to run concurrently.
 
         After each suggestion a constant-liar fantasy is recorded, so later
         suggestions in the batch (and later batches, while results are still
         in flight) see the earlier ones as already evaluated and spread out
-        instead of piling onto the current acquisition maximum.
+        instead of piling onto the current acquisition maximum.  ``liar``
+        picks the fantasy statistic (see :data:`LIAR_STRATEGIES`); the
+        default CL-min is the legacy behaviour.
         """
         if n < 1:
             raise ValueError("batch size must be >= 1")
         configs: List[Configuration] = []
         for _ in range(n):
             config = self.ask()
-            self.fantasize(config)
+            self.fantasize(config, liar=liar)
             configs.append(config)
         return configs
 
@@ -141,20 +151,36 @@ class Optimizer(abc.ABC):
         )
 
     # -- in-flight fantasies ---------------------------------------------------
-    def fantasize(self, config: Configuration, budget: float = 1.0) -> OptimizerObservation:
+    def fantasize(
+        self, config: Configuration, budget: float = 1.0, liar: str = "min"
+    ) -> OptimizerObservation:
         """Record a constant-liar observation for an in-flight configuration.
 
-        The lie is the best (lowest) cost seen so far — the aggressive
-        "constant liar min" strategy — which collapses the acquisition
+        ``liar`` chooses the lie from the costs seen so far: ``"min"`` (the
+        best cost — the aggressive default, which collapses the acquisition
         function around the pending point and steers subsequent asks away
-        from it.  With no real observations yet the lie is the best pending
-        cost, or 0.0 for a completely cold optimizer (harmless: asks fall
-        back to random sampling until two real observations exist).
+        from it), ``"mean"`` (CL-mean) or ``"max"`` (CL-max, the
+        pessimistic variant).  With no real observations yet the statistic
+        is taken over the pending lies, or 0.0 for a completely cold
+        optimizer (harmless: asks fall back to random sampling until two
+        real observations exist).
         """
+        if liar not in LIAR_STRATEGIES:
+            raise ValueError(
+                f"unknown liar strategy {liar!r}; known: {LIAR_STRATEGIES}"
+            )
         pool = self.observations or self._pending
-        lie = min((obs.cost for obs in pool), default=0.0)
+        costs = [obs.cost for obs in pool]
+        if not costs:
+            lie = 0.0
+        elif liar == "min":
+            lie = min(costs)
+        elif liar == "max":
+            lie = max(costs)
+        else:
+            lie = float(np.mean(costs))
         observation = OptimizerObservation(
-            config, float(lie), float(budget), {"fantasy": True}
+            config, float(lie), float(budget), {"fantasy": True, "liar": liar}
         )
         self._pending.append(observation)
         self._data_version += 1

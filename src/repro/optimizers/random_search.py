@@ -17,9 +17,10 @@ class RandomSearchOptimizer(Optimizer):
     def ask(self) -> Configuration:
         return self.space.sample(self._rng)
 
-    def ask_batch(self, n: int) -> List[Configuration]:
+    def ask_batch(self, n: int, liar: str = "min") -> List[Configuration]:
         # Random suggestions are independent of the observation history, so
-        # no constant-liar fantasies are needed to keep a batch diverse.
+        # no constant-liar fantasies are needed to keep a batch diverse
+        # (the liar strategy is accepted for interface parity and ignored).
         if n < 1:
             raise ValueError("batch size must be >= 1")
         return [self.ask() for _ in range(n)]

@@ -1,0 +1,136 @@
+"""Tests for the constant-liar strategy variants (CL-min / CL-mean / CL-max).
+
+Satellite of the straggler PR, closing the ROADMAP open item: the fantasy
+recorded behind ``Optimizer.ask_batch(liar=...)`` must match the chosen
+statistic of the costs seen so far, retraction must work identically for
+every variant, and the default must remain the legacy CL-min bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.configspace import ConfigurationSpace, FloatParameter
+from repro.optimizers import LIAR_STRATEGIES, SMACOptimizer
+from repro.optimizers.base import Optimizer
+
+
+def make_space(seed=0):
+    return ConfigurationSpace(
+        [
+            FloatParameter("x", 0.0, 1.0),
+            FloatParameter("y", 0.0, 1.0),
+        ],
+        seed=seed,
+    )
+
+
+class SequentialOptimizer(Optimizer):
+    """Deterministic asks so lie bookkeeping is easy to assert."""
+
+    def ask(self):
+        return self.space.sample(self._rng)
+
+
+def warm_optimizer(costs=(3.0, 1.0, 2.0)):
+    opt = SequentialOptimizer(make_space(), seed=0)
+    for cost in costs:
+        opt.tell(opt.ask(), cost)
+    return opt
+
+
+class TestLiarStatistics:
+    def test_known_strategies(self):
+        assert LIAR_STRATEGIES == ("min", "mean", "max")
+
+    @pytest.mark.parametrize(
+        "liar, expected", [("min", 1.0), ("mean", 2.0), ("max", 3.0)]
+    )
+    def test_fantasy_matches_the_chosen_statistic(self, liar, expected):
+        opt = warm_optimizer()
+        fantasy = opt.fantasize(make_space(seed=9).sample(), liar=liar)
+        assert fantasy.cost == pytest.approx(expected)
+        assert fantasy.metadata["fantasy"] is True
+        assert fantasy.metadata["liar"] == liar
+
+    @pytest.mark.parametrize("liar", LIAR_STRATEGIES)
+    def test_ask_batch_passes_the_strategy_through(self, liar):
+        opt = warm_optimizer()
+        batch = opt.ask_batch(3, liar=liar)
+        assert len(batch) == 3
+        assert [obs.metadata["liar"] for obs in opt.pending_fantasies] == [liar] * 3
+
+    def test_default_is_cl_min(self):
+        opt = warm_optimizer()
+        fantasy = opt.fantasize(make_space(seed=9).sample())
+        assert fantasy.cost == pytest.approx(1.0)
+        assert fantasy.metadata["liar"] == "min"
+
+    def test_unknown_strategy_raises(self):
+        opt = warm_optimizer()
+        with pytest.raises(ValueError, match="liar"):
+            opt.fantasize(make_space(seed=9).sample(), liar="median")
+        with pytest.raises(ValueError, match="liar"):
+            opt.ask_batch(2, liar="median")
+
+    def test_cold_optimizer_lies_zero_for_every_variant(self):
+        for liar in LIAR_STRATEGIES:
+            opt = SequentialOptimizer(make_space(), seed=0)
+            fantasy = opt.fantasize(opt.ask(), liar=liar)
+            assert fantasy.cost == 0.0
+
+    def test_statistic_over_pending_lies_when_no_real_observations(self):
+        opt = SequentialOptimizer(make_space(), seed=0)
+        opt.fantasize(opt.ask(), liar="min")  # lie 0.0
+        second = opt.fantasize(opt.ask(), liar="mean")
+        assert second.cost == 0.0  # mean over the pending pool
+
+
+class TestRetractionPerVariant:
+    @pytest.mark.parametrize("liar", LIAR_STRATEGIES)
+    def test_real_tell_retracts_the_fantasy(self, liar):
+        opt = warm_optimizer()
+        (config,) = opt.ask_batch(1, liar=liar)
+        assert opt.n_pending == 1
+        opt.tell(config, 0.5)
+        assert opt.n_pending == 0
+        assert opt.observations[-1].config == config
+        assert not opt.observations[-1].metadata.get("fantasy")
+
+    @pytest.mark.parametrize("liar", LIAR_STRATEGIES)
+    def test_manual_retraction(self, liar):
+        opt = warm_optimizer()
+        config = make_space(seed=9).sample()
+        opt.fantasize(config, liar=liar)
+        assert opt.retract_fantasy(config) is True
+        assert opt.n_pending == 0
+
+    def test_mixed_variants_retract_together_on_tell(self):
+        opt = warm_optimizer()
+        config = make_space(seed=9).sample()
+        opt.fantasize(config, liar="min")
+        opt.fantasize(config, liar="max")
+        opt.tell(config, 0.25)
+        assert opt.n_pending == 0
+
+
+class TestLiarSpreadsDiffer:
+    def test_mean_and_max_lies_are_less_aggressive(self):
+        # CL-min pulls the fantasy to the optimum; CL-max leaves the pending
+        # point looking poor.  The surrogate's training targets must reflect
+        # that ordering.
+        space = make_space()
+        results = {}
+        for liar in LIAR_STRATEGIES:
+            opt = SMACOptimizer(
+                space, seed=1, n_initial_design=2, n_candidates=40,
+                n_local=10, n_trees=4,
+            )
+            rng = np.random.default_rng(1)
+            for _ in range(5):
+                config = space.sample(rng)
+                opt.tell(config, float(config["x"] ** 2 + config["y"]))
+            opt.ask_batch(2, liar=liar)
+            lies = [obs.cost for obs in opt.pending_fantasies]
+            results[liar] = lies
+        assert max(results["min"]) <= min(results["mean"])
+        assert max(results["mean"]) <= min(results["max"])

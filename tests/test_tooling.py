@@ -1,0 +1,42 @@
+"""Guard rails for the shell tooling under ``tools/``.
+
+Every gate/benchmark script must fail loudly: ``set -euo pipefail`` so a
+failing pytest invocation (or an unset variable) can never report success,
+and the executable bit so ``make`` targets and CI can run them directly.
+"""
+
+import os
+import stat
+
+TOOLS_DIR = os.path.join(os.path.dirname(__file__), "..", "tools")
+
+
+def _scripts():
+    return sorted(
+        os.path.join(TOOLS_DIR, name)
+        for name in os.listdir(TOOLS_DIR)
+        if name.endswith(".sh")
+    )
+
+
+def test_tools_directory_has_scripts():
+    assert len(_scripts()) >= 5
+
+
+def test_every_script_fails_loudly():
+    for path in _scripts():
+        with open(path) as fh:
+            content = fh.read()
+        assert "set -euo pipefail" in content, (
+            f"{os.path.basename(path)} must 'set -euo pipefail' so failures "
+            "propagate instead of being swallowed"
+        )
+
+
+def test_every_script_is_executable_with_a_shebang():
+    for path in _scripts():
+        mode = os.stat(path).st_mode
+        assert mode & stat.S_IXUSR, f"{os.path.basename(path)} is not executable"
+        with open(path) as fh:
+            first = fh.readline()
+        assert first.startswith("#!"), f"{os.path.basename(path)} lacks a shebang"

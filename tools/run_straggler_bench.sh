@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Straggler-mitigation microbenchmark smoke run: prints per-seed simulated
+# makespans with and without speculative re-execution under the heavy-tail
+# fault model, asserts the geomean speedup stays >= 1.15x at equal accepted
+# sample count, re-checks the "none"-model bit-for-bit equivalence gate,
+# and writes BENCH_STRAGGLER.json (speedups, mitigation counters) for CI
+# archiving.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest benchmarks/test_bench_straggler.py -q -s "$@"
