@@ -4,12 +4,13 @@
 #   make test-fast        unit tests only (skips the figure benchmarks)
 #   make lint             ruff check over src, tests and benchmarks
 #   make bench-surrogate  surrogate-inference throughput microbenchmark
+#   make bench-forest-fit vectorized forest-training + ask() latency microbenchmark
 #   make bench-async      async batched execution makespan microbenchmark
 #   make bench-hetero     heterogeneous-fleet placement microbenchmark
 #   make bench-straggler  speculative re-execution under injected stragglers
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint bench bench-surrogate bench-async bench-hetero bench-straggler
+.PHONY: test test-fast lint bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler
 
 test:
 	./tools/run_tier1.sh
@@ -22,6 +23,9 @@ lint:
 
 bench-surrogate:
 	./tools/run_surrogate_bench.sh
+
+bench-forest-fit:
+	./tools/run_forest_fit_bench.sh
 
 bench-async:
 	./tools/run_async_bench.sh

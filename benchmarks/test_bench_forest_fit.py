@@ -1,0 +1,157 @@
+"""Microbenchmark — vectorized all-trees-at-once forest training throughput.
+
+Like the surrogate-inference benchmark, this guards a *performance property*
+of the reproduction rather than a paper result: the level-synchronous
+builder (:mod:`repro.ml.treebuilder`) must train the SMAC-shaped 24-tree
+forest at n=1000 rows at least ``SPEEDUP_TARGET``x faster than the per-node
+pointer reference (``fit_pointer``), and the end-to-end ``SMACOptimizer.ask()``
+path — surrogate fit, candidate generation, batched prediction, EI — must
+stay inside an absolute latency budget so a regression in any stage fails CI
+even if the others got faster.
+
+The two fits are bit-for-bit equivalent (asserted here on the emitted node
+tables, and exhaustively in ``tests/ml/test_fit_equivalence.py``), so the
+speedup compares identical work.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_forest_fit.py -q -s
+"""
+
+import time
+
+import numpy as np
+from bench_artifacts import write_bench_json
+
+from repro.configspace import ConfigurationSpace, FloatParameter
+from repro.ml.forest import RandomForestRegressor
+from repro.optimizers import SMACOptimizer
+
+N_TREES = 24
+N_TRAIN = 1000
+N_FEATURES = 12
+SPEEDUP_TARGET = 5.0
+
+#: End-to-end ask() budgets, deliberately loose (>10x the locally measured
+#: latency) so CI machine jitter cannot flip them while a return to per-node
+#: Python training (~seconds at this shape) still fails loudly.
+ASK_N_OBSERVATIONS = 200
+ASK_COLD_BUDGET_SECONDS = 1.0  # surrogate refit + candidates + predict + EI
+ASK_WARM_BUDGET_SECONDS = 0.25  # cached surrogate: candidates + predict + EI
+
+
+def _forest(seed=0):
+    return RandomForestRegressor(
+        n_estimators=N_TREES,
+        min_samples_leaf=1,
+        min_samples_split=3,
+        max_features=5.0 / 6.0,
+        seed=seed,
+    )
+
+
+def _best_of(fn, repeats):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_forest_fit(once):
+    def run():
+        rng = np.random.default_rng(0)
+        X = rng.random((N_TRAIN, N_FEATURES))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 3] ** 2 + rng.normal(0.0, 0.3, N_TRAIN)
+        vectorized = _best_of(lambda: _forest(seed=0).fit(X, y), repeats=3)
+        pointer = _best_of(lambda: _forest(seed=0).fit_pointer(X, y), repeats=2)
+        # The ratio only means something if both paths build the same trees.
+        fast = _forest(seed=0).fit(X, y)
+        ref = _forest(seed=0).fit_pointer(X, y)
+        for tree_a, tree_b in zip(fast.trees_, ref.trees_):
+            assert np.array_equal(tree_a.flat.value, tree_b.flat.value)
+            assert np.array_equal(tree_a.flat.left, tree_b.flat.left)
+        return {
+            "vectorized_seconds": vectorized,
+            "pointer_seconds": pointer,
+            "speedup": pointer / vectorized,
+        }
+
+    result = once(run)
+
+    print(f"\nForest training ({N_TREES} trees, n={N_TRAIN}, d={N_FEATURES})")
+    print(f"  pointer reference fit: {result['pointer_seconds'] * 1e3:8.1f} ms")
+    print(f"  vectorized fit:        {result['vectorized_seconds'] * 1e3:8.1f} ms")
+    print(f"  speedup:               {result['speedup']:8.1f}x")
+
+    write_bench_json(
+        "forest_fit",
+        {
+            "speedup": result["speedup"],
+            "speedup_target": SPEEDUP_TARGET,
+            "vectorized_seconds": result["vectorized_seconds"],
+            "pointer_seconds": result["pointer_seconds"],
+        },
+        parameters={
+            "n_trees": N_TREES,
+            "n_train": N_TRAIN,
+            "n_features": N_FEATURES,
+        },
+    )
+
+    assert result["speedup"] >= SPEEDUP_TARGET, (
+        f"vectorized forest fit is only {result['speedup']:.1f}x faster than "
+        f"the pointer reference (target {SPEEDUP_TARGET}x)"
+    )
+
+
+def test_bench_ask_latency(once):
+    def run():
+        space = ConfigurationSpace(
+            [FloatParameter(f"x{i}", 0.0, 1.0) for i in range(N_FEATURES)], seed=0
+        )
+        opt = SMACOptimizer(space, seed=0, n_initial_design=1)
+        rng = np.random.default_rng(1)
+        for config in space.sample_batch(ASK_N_OBSERVATIONS, rng=rng):
+            cost = (config["x0"] - 0.7) ** 2 + (config["x3"] - 0.2) ** 2
+            opt.tell(config, float(cost + rng.normal(0.0, 0.01)))
+        opt.ask()  # consume the initial design so every timed ask is modelled
+
+        def cold_ask():
+            opt._surrogate_cache.invalidate()
+            opt.ask()
+
+        cold = _best_of(cold_ask, repeats=3)
+        warm = _best_of(opt.ask, repeats=5)
+        return {"cold_ask_seconds": cold, "warm_ask_seconds": warm}
+
+    result = once(run)
+
+    print(f"\nSMAC ask() latency ({ASK_N_OBSERVATIONS} observations, d={N_FEATURES})")
+    print(
+        f"  cold (refit + candidates + EI): {result['cold_ask_seconds'] * 1e3:8.1f} ms"
+        f"  (budget {ASK_COLD_BUDGET_SECONDS * 1e3:.0f} ms)"
+    )
+    print(
+        f"  warm (cached surrogate):        {result['warm_ask_seconds'] * 1e3:8.1f} ms"
+        f"  (budget {ASK_WARM_BUDGET_SECONDS * 1e3:.0f} ms)"
+    )
+
+    write_bench_json(
+        "ask_latency",
+        {
+            "cold_ask_seconds": result["cold_ask_seconds"],
+            "cold_budget_seconds": ASK_COLD_BUDGET_SECONDS,
+            "warm_ask_seconds": result["warm_ask_seconds"],
+            "warm_budget_seconds": ASK_WARM_BUDGET_SECONDS,
+        },
+        parameters={
+            "n_observations": ASK_N_OBSERVATIONS,
+            "n_features": N_FEATURES,
+            "n_trees": N_TREES,
+        },
+    )
+
+    assert result["cold_ask_seconds"] <= ASK_COLD_BUDGET_SECONDS
+    assert result["warm_ask_seconds"] <= ASK_WARM_BUDGET_SECONDS

@@ -11,9 +11,11 @@ noise-free mean.  Design decisions follow the paper:
   budget (those are the most reliable, and unstable configs have already been
   filtered out of them by the outlier detector);
 * it is rebuilt from scratch every time a new training point arrives (random
-  forests are cheap to train at this scale); rebuilds against an *unchanged*
-  training set are skipped via a :class:`~repro.ml.cache.SurrogateCache`
-  keyed on a fingerprint of the training matrix;
+  forests are cheap to train at this scale — the vectorized all-trees-at-once
+  builder in :mod:`repro.ml.treebuilder` fits the whole 24-tree forest in one
+  level-synchronous pass); rebuilds against an *unchanged* training set are
+  skipped via a :class:`~repro.ml.cache.SurrogateCache` keyed on a
+  fingerprint of the training matrix;
 * inference is bypassed for configurations flagged unstable — they are
   outside the training distribution and already heavily penalised.
 """

@@ -9,6 +9,18 @@ The forest serves two roles in the reproduction, mirroring the paper:
   generalises well, performs implicit feature selection and can be trained on
   very little data.
 
+Training layout
+---------------
+``fit`` trains **all trees at once**: bootstrap resampling is expressed as
+per-tree integer sample-weight vectors over the shared training matrix, and
+the level-synchronous builder in :mod:`repro.ml.treebuilder` grows every
+tree's frontier together — one stable argsort per feature for the whole
+forest, one weighted cumulative-sum pass per (level, feature) to score every
+(tree, node) split candidate, flat node tables emitted directly.  The
+per-tree, per-node reference build survives as ``fit_pointer`` and is
+bit-for-bit equivalent for the same seed (same forest-RNG draw order for
+tree seeds and bootstrap counts, same per-tree feature-subsampling streams).
+
 Inference layout
 ----------------
 After fitting, the per-tree flat arrays (see :mod:`repro.ml.tree`) are stacked
@@ -29,7 +41,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import DecisionTreeRegressor, resolve_split_feature_count
+from repro.ml.treebuilder import build_forest_flat
 
 
 class _FlatForest:
@@ -148,8 +161,8 @@ class RandomForestRegressor:
         self._flat: Optional[_FlatForest] = None
         self.n_features_: Optional[int] = None
 
-    def fit(self, X, y) -> "RandomForestRegressor":
-        X = np.asarray(X, dtype=float)
+    def _validate_fit(self, X, y) -> tuple:
+        X = np.ascontiguousarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if X.ndim != 2:
             raise ValueError("X must be 2-D")
@@ -157,22 +170,72 @@ class RandomForestRegressor:
             raise ValueError("X and y must have the same number of rows")
         if X.shape[0] == 0:
             raise ValueError("cannot fit a forest on zero samples")
+        return X, y
+
+    def _draw_tree_inputs(self, n_samples: int) -> tuple:
+        """Per-tree seeds and bootstrap sample-weight vectors.
+
+        One forest-RNG draw pair per tree — seed first, then the bootstrap
+        counts — in tree order, so the vectorized and pointer fits consume
+        the forest stream identically.
+        """
+        seeds = []
+        weights = np.empty((self.n_estimators, n_samples))
+        for t in range(self.n_estimators):
+            seeds.append(int(self._rng.integers(0, 2**31 - 1)))
+            if self.bootstrap and n_samples > 1:
+                idx = self._rng.integers(0, n_samples, size=n_samples)
+                weights[t] = np.bincount(idx, minlength=n_samples)
+            else:
+                weights[t] = 1.0
+        return seeds, weights
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        """Vectorized all-trees-at-once fit (see :mod:`repro.ml.treebuilder`)."""
+        X, y = self._validate_fit(X, y)
         self.n_features_ = X.shape[1]
-        n_samples = X.shape[0]
+        seeds, weights = self._draw_tree_inputs(X.shape[0])
+        flats = build_forest_flat(
+            X,
+            y,
+            weights,
+            [np.random.default_rng(seed) for seed in seeds],
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            n_split_features=resolve_split_feature_count(
+                self.max_features, self.n_features_
+            ),
+        )
+        self.trees_ = [
+            DecisionTreeRegressor._from_flat(
+                flat,
+                self.n_features_,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+            )
+            for flat in flats
+        ]
+        self._flat = _FlatForest(self.trees_)
+        return self
+
+    def fit_pointer(self, X, y) -> "RandomForestRegressor":
+        """Per-tree, per-node reference fit (bit-for-bit equal to :meth:`fit`)."""
+        X, y = self._validate_fit(X, y)
+        self.n_features_ = X.shape[1]
+        seeds, weights = self._draw_tree_inputs(X.shape[0])
         self.trees_ = []
-        for _ in range(self.n_estimators):
+        for seed, w in zip(seeds, weights):
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
-                seed=int(self._rng.integers(0, 2**31 - 1)),
+                seed=seed,
             )
-            if self.bootstrap and n_samples > 1:
-                idx = self._rng.integers(0, n_samples, size=n_samples)
-            else:
-                idx = np.arange(n_samples)
-            tree.fit(X[idx], y[idx])
+            tree.fit_pointer(X, y, sample_weight=w)
             self.trees_.append(tree)
         self._flat = _FlatForest(self.trees_)
         return self

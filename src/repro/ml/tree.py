@@ -3,32 +3,48 @@
 The implementation is a plain variance-reduction CART over dense ``numpy``
 arrays.  It is intentionally small but supports the features the surrogate and
 noise-adjuster models need: per-split feature subsampling (``max_features``),
-depth and leaf-size limits, and per-leaf variance estimates so the forest can
-expose predictive uncertainty to the Bayesian optimizer.
+depth and leaf-size limits, per-leaf variance estimates so the forest can
+expose predictive uncertainty to the Bayesian optimizer, and integer sample
+weights so bootstrap resamples never materialise duplicated rows.
+
+Training layout
+---------------
+``fit`` no longer recurses over pointer nodes: it delegates to the
+level-synchronous builder in :mod:`repro.ml.treebuilder`, which presorts each
+feature column once, grows a breadth-first frontier, and scores the best
+variance-reduction split of every node at the current depth in one weighted
+cumulative-sum pass per feature — emitting the flat node table below
+directly.  The per-node reference build survives as ``fit_pointer``: a
+level-ordered queue over :class:`_Node` objects that sorts every candidate
+feature at every node, compiled to arrays by :func:`_compile_tree`.  Both
+paths share the *same* canonical arithmetic (sequential weighted cumsums,
+level-ordered feature-subsampling draws, first-minimum tie-breaking), so for
+a fixed seed they produce **bit-for-bit identical** node tables — guarded by
+``tests/ml/test_fit_equivalence.py``.
 
 Inference layout
 ----------------
-Fitting builds a conventional pointer tree of :class:`_Node` objects, which is
-then *compiled* into a flat structure-of-arrays representation::
+Fitted trees are represented as a flat structure-of-arrays::
 
     feature[i]    split feature of node i          (0 for leaves)
     threshold[i]  split threshold of node i        (nan for leaves)
     left[i]       index of the left child, -1 for leaves
     right[i]      index of the right child, -1 for leaves
-    value[i]      mean of the training targets routed to node i
-    variance[i]   variance of the training targets routed to node i
-    n_samples[i]  number of training rows routed to node i
+    value[i]      weighted mean of the training targets routed to node i
+    variance[i]   weighted variance of the training targets routed to node i
+    n_samples[i]  number of training rows routed to node i (bootstrap weight)
 
-Batch prediction advances *all* query rows level-by-level with NumPy fancy
-indexing (``predict`` / ``predict_with_variance``): per loop iteration every
-row still inside the tree takes one step, so the Python-level loop runs at
-most ``depth`` times regardless of the number of rows.  The legacy per-row
-pointer walk is kept as ``predict_pointer`` / ``predict_with_variance_pointer``
-for equivalence tests and as the benchmark baseline.
+Nodes are numbered in preorder (root first, left subtree before right), so
+children always follow their parents.  Batch prediction advances *all* query
+rows level-by-level with NumPy fancy indexing (``predict`` /
+``predict_with_variance``); the legacy per-row walk is kept as
+``predict_pointer`` / ``predict_with_variance_pointer`` for equivalence tests
+and as the benchmark baseline.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
@@ -54,7 +70,7 @@ class _Node:
 
 @dataclass
 class FlatTree:
-    """Structure-of-arrays compilation of a fitted pointer tree."""
+    """Structure-of-arrays representation of a fitted tree."""
 
     feature: np.ndarray  # (n_nodes,) intp, 0 for leaves
     threshold: np.ndarray  # (n_nodes,) float, nan for leaves
@@ -126,6 +142,105 @@ def _compile_tree(root: _Node) -> FlatTree:
     )
 
 
+# --------------------------------------------------------------------------
+# Canonical split-search arithmetic, shared (operation for operation) by the
+# pointer reference below and the vectorized builder in
+# :mod:`repro.ml.treebuilder`.  Every sum that feeds a split decision or a
+# node statistic is a *sequential* cumulative sum over members in a defined
+# order, never ``np.sum``/``np.mean`` (whose pairwise reduction rounds
+# differently), so the two implementations agree bit for bit.
+# --------------------------------------------------------------------------
+
+
+def resolve_split_feature_count(max_features, n_features: int) -> int:
+    """Number of candidate features examined per split."""
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, float):
+        return max(1, int(round(max_features * n_features)))
+    return max(1, min(int(max_features), n_features))
+
+
+def draw_feature_mask(rng: np.random.Generator, n_features: int, k: int) -> np.ndarray:
+    """Boolean mask of the ``k`` features examined at one node.
+
+    One ``rng.random(n_features)`` block per expanding node, consumed in
+    level (breadth-first) order: the vectorized builder draws the same
+    numbers as one ``(n_nodes, n_features)`` matrix per tree and level, which
+    is byte-identical stream consumption.  The ``k`` smallest keys win.
+    """
+    keys = rng.random(n_features)
+    kth = np.partition(keys, k - 1)[k - 1]
+    return keys <= kth
+
+
+def weighted_node_stats(w: np.ndarray, wy: np.ndarray, wyy: np.ndarray) -> tuple:
+    """Weighted count, mean and variance of a node's members.
+
+    Members must be in ascending row order; the sums are sequential cumsums
+    so the builder's padded-rectangle cumsums reproduce them exactly.
+    """
+    total_w = np.cumsum(w)[-1]
+    total_wy = np.cumsum(wy)[-1]
+    total_wyy = np.cumsum(wyy)[-1]
+    mean = total_wy / total_w
+    variance = np.maximum(total_wyy / total_w - mean * mean, 0.0)
+    return total_w, mean, variance
+
+
+def best_split_weighted(
+    X: np.ndarray,
+    members: np.ndarray,
+    w: np.ndarray,
+    wy: np.ndarray,
+    wyy: np.ndarray,
+    feature_mask: np.ndarray,
+    min_samples_leaf: int,
+) -> Optional[tuple]:
+    """Best (feature, threshold) for one node, or ``None``.
+
+    Candidate features are scanned in ascending index order with a strict
+    ``<`` comparison, so ties go to the lowest feature index; within a
+    feature, ``argmin`` keeps the first (lowest) candidate position.  The
+    vectorized builder reproduces both tie-breaks.
+    """
+    best_score = np.inf
+    best: Optional[tuple] = None
+    for feature in np.flatnonzero(feature_mask):
+        x_raw = X[members, feature]
+        order = np.argsort(x_raw, kind="mergesort")
+        xs = x_raw[order]
+        ordered = members[order]
+        cw = np.cumsum(w[ordered])
+        cwy = np.cumsum(wy[ordered])
+        cwyy = np.cumsum(wyy[ordered])
+        total_w = cw[-1]
+        total_wy = cwy[-1]
+        total_wyy = cwyy[-1]
+        left_w = cw[:-1]
+        # Split after position p: feature value must change and both children
+        # must keep at least ``min_samples_leaf`` (weighted) rows.
+        valid = (
+            (xs[:-1] < xs[1:])
+            & (left_w >= min_samples_leaf)
+            & (total_w - left_w >= min_samples_leaf)
+        )
+        pos = np.flatnonzero(valid)
+        if pos.size == 0:
+            continue
+        sse_left = cwyy[pos] - cwy[pos] ** 2 / cw[pos]
+        sse_right = (total_wyy - cwyy[pos]) - (total_wy - cwy[pos]) ** 2 / (
+            total_w - cw[pos]
+        )
+        scores = sse_left + sse_right
+        j = int(np.argmin(scores))
+        if scores[j] < best_score:
+            best_score = float(scores[j])
+            p = int(pos[j])
+            best = (int(feature), float((xs[p] + xs[p + 1]) / 2.0))
+    return best
+
+
 class DecisionTreeRegressor:
     """Regression tree minimising within-node variance (squared error).
 
@@ -135,9 +250,9 @@ class DecisionTreeRegressor:
         Maximum tree depth; ``None`` grows until leaves are pure or smaller
         than ``min_samples_split``.
     min_samples_split:
-        Minimum number of samples required to attempt a split.
+        Minimum (weighted) number of samples required to attempt a split.
     min_samples_leaf:
-        Minimum number of samples that must end up in each child.
+        Minimum (weighted) number of samples that must end up in each child.
     max_features:
         Number of candidate features examined per split.  ``None`` uses all
         features, a float in (0, 1] uses that fraction, an int uses that count.
@@ -166,9 +281,31 @@ class DecisionTreeRegressor:
         self._flat: Optional[FlatTree] = None
         self.n_features_: Optional[int] = None
 
+    @classmethod
+    def _from_flat(
+        cls,
+        flat: FlatTree,
+        n_features: int,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[float] = None,
+    ) -> "DecisionTreeRegressor":
+        """Wrap a builder-emitted node table in a fitted tree object."""
+        tree = cls(
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            seed=0,
+        )
+        tree.n_features_ = n_features
+        tree._flat = flat
+        return tree
+
     # ------------------------------------------------------------------ fit
-    def fit(self, X, y) -> "DecisionTreeRegressor":
-        X = np.asarray(X, dtype=float)
+    def _validate_fit(self, X, y, sample_weight) -> tuple:
+        X = np.ascontiguousarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if X.ndim != 2:
             raise ValueError("X must be 2-D")
@@ -176,96 +313,98 @@ class DecisionTreeRegressor:
             raise ValueError("X and y must have the same number of rows")
         if X.shape[0] == 0:
             raise ValueError("cannot fit a tree on zero samples")
-        self.n_features_ = X.shape[1]
-        self._root = self._build(X, y, depth=0)
-        self._flat = _compile_tree(self._root)
-        return self
+        if sample_weight is None:
+            w = np.ones(X.shape[0], dtype=float)
+        else:
+            w = np.asarray(sample_weight, dtype=float).ravel()
+            if w.shape[0] != X.shape[0]:
+                raise ValueError("sample_weight must have one entry per row")
+            if np.any(w < 0):
+                raise ValueError("sample_weight must be non-negative")
+            if not np.any(w > 0):
+                raise ValueError("sample_weight must have a positive entry")
+        return X, y, w
 
     def _n_split_features(self) -> int:
         assert self.n_features_ is not None
-        if self.max_features is None:
-            return self.n_features_
-        if isinstance(self.max_features, float):
-            return max(1, int(round(self.max_features * self.n_features_)))
-        return max(1, min(int(self.max_features), self.n_features_))
+        return resolve_split_feature_count(self.max_features, self.n_features_)
 
-    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        node = _Node(
-            value=float(np.mean(y)),
-            variance=float(np.var(y)),
-            n_samples=int(y.shape[0]),
-        )
-        if (
-            y.shape[0] < self.min_samples_split
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or np.all(y == y[0])
-        ):
-            return node
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        """Vectorized level-synchronous fit (no pointer nodes, no recursion)."""
+        X, y, w = self._validate_fit(X, y, sample_weight)
+        self.n_features_ = X.shape[1]
+        from repro.ml.treebuilder import build_forest_flat
 
-        split = self._best_split(X, y)
-        if split is None:
-            return node
+        self._flat = build_forest_flat(
+            X,
+            y,
+            w[None, :],
+            [self._rng],
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            n_split_features=self._n_split_features(),
+        )[0]
+        self._root = None
+        return self
 
-        feature, threshold = split
-        mask = X[:, feature] <= threshold
-        node.feature = feature
-        node.threshold = threshold
-        node.left = self._build(X[mask], y[mask], depth + 1)
-        node.right = self._build(X[~mask], y[~mask], depth + 1)
-        return node
+    def fit_pointer(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        """Per-node reference fit over pointer :class:`_Node` objects.
 
-    def _best_split(self, X: np.ndarray, y: np.ndarray):
-        n_samples, n_features = X.shape
-        features = self._rng.choice(
-            n_features, size=self._n_split_features(), replace=False
-        )
-        best_score = np.inf
-        best: Optional[tuple] = None
-        min_leaf = self.min_samples_leaf
-
-        for feature in features:
-            order = np.argsort(X[:, feature], kind="mergesort")
-            xs = X[order, feature]
-            ys = y[order]
-            # Cumulative sums let us evaluate every split point in O(n).
-            csum = np.cumsum(ys)
-            csum_sq = np.cumsum(ys**2)
-            total_sum = csum[-1]
-            total_sq = csum_sq[-1]
-
-            # Candidate split after index i (left = [0..i], right = [i+1..]).
-            idx = np.arange(min_leaf - 1, n_samples - min_leaf)
-            if idx.size == 0:
+        Expands nodes from a level-ordered queue (so the feature-subsampling
+        RNG is consumed in the same order as the vectorized builder), sorts
+        every candidate feature at every node, and compiles the finished
+        pointer tree to the flat layout.  For a fixed seed the result is
+        bit-for-bit identical to :meth:`fit`.
+        """
+        X, y, w = self._validate_fit(X, y, sample_weight)
+        self.n_features_ = X.shape[1]
+        n_split_features = self._n_split_features()
+        wy = w * y
+        wyy = wy * y
+        root = _Node()
+        queue = deque([(root, np.flatnonzero(w > 0).astype(np.intp), 0)])
+        while queue:
+            node, members, depth = queue.popleft()
+            total_w, mean, variance = weighted_node_stats(
+                w[members], wy[members], wyy[members]
+            )
+            node.value = float(mean)
+            node.variance = float(variance)
+            node.n_samples = int(total_w)
+            y_members = y[members]
+            if (
+                total_w < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.min(y_members) == np.max(y_members)
+            ):
                 continue
-            # Only consider indices where the feature value actually changes.
-            distinct = xs[idx] < xs[idx + 1]
-            idx = idx[distinct]
-            if idx.size == 0:
+            feature_mask = draw_feature_mask(self._rng, X.shape[1], n_split_features)
+            split = best_split_weighted(
+                X, members, w, wy, wyy, feature_mask, self.min_samples_leaf
+            )
+            if split is None:
                 continue
-
-            n_left = idx + 1
-            n_right = n_samples - n_left
-            sum_left = csum[idx]
-            sq_left = csum_sq[idx]
-            sum_right = total_sum - sum_left
-            sq_right = total_sq - sq_left
-            # Within-child sum of squared errors.
-            sse_left = sq_left - sum_left**2 / n_left
-            sse_right = sq_right - sum_right**2 / n_right
-            scores = sse_left + sse_right
-
-            local_best = int(np.argmin(scores))
-            if scores[local_best] < best_score:
-                best_score = float(scores[local_best])
-                i = idx[local_best]
-                threshold = float((xs[i] + xs[i + 1]) / 2.0)
-                best = (int(feature), threshold)
-        return best
+            feature, threshold = split
+            go_left = X[members, feature] <= threshold
+            # Guard against midpoint rounding landing on the right value: a
+            # split that routes every member to one side degenerates to a leaf.
+            if go_left.all() or not go_left.any():
+                continue
+            node.feature = feature
+            node.threshold = threshold
+            node.left = _Node()
+            node.right = _Node()
+            queue.append((node.left, members[go_left], depth + 1))
+            queue.append((node.right, members[~go_left], depth + 1))
+        self._root = root
+        self._flat = _compile_tree(root)
+        return self
 
     # -------------------------------------------------------------- predict
     @property
     def flat(self) -> FlatTree:
-        """The flat-array compilation of the fitted tree."""
+        """The flat-array node table of the fitted tree."""
         if self._flat is None:
             raise RuntimeError("DecisionTreeRegressor must be fit before predict")
         return self._flat
@@ -289,39 +428,55 @@ class DecisionTreeRegressor:
         return self.flat.value[leaves], self.flat.variance[leaves]
 
     # ------------------------------------------- legacy pointer-walk predict
-    def _locate(self, row: np.ndarray) -> _Node:
-        assert self._root is not None
-        node = self._root
-        while not node.is_leaf:
-            assert node.left is not None and node.right is not None
-            node = node.left if row[node.feature] <= node.threshold else node.right
+    def _locate(self, row: np.ndarray) -> int:
+        """Per-row descent to a leaf's node index (reference walk)."""
+        flat = self.flat
+        node = 0
+        while flat.left[node] >= 0:
+            if row[flat.feature[node]] <= flat.threshold[node]:
+                node = flat.left[node]
+            else:
+                node = flat.right[node]
         return node
 
     def predict_pointer(self, X) -> np.ndarray:
         """Per-row pointer-walk prediction (legacy reference implementation)."""
         X = self._validate_predict_input(X)
-        return np.array([self._locate(row).value for row in X], dtype=float)
+        flat = self.flat
+        return np.array([flat.value[self._locate(row)] for row in X], dtype=float)
 
     def predict_with_variance_pointer(self, X) -> tuple:
         """Per-row pointer-walk means/variances (legacy reference)."""
         X = self._validate_predict_input(X)
+        flat = self.flat
         leaves = [self._locate(row) for row in X]
-        means = np.array([leaf.value for leaf in leaves], dtype=float)
-        variances = np.array([leaf.variance for leaf in leaves], dtype=float)
+        means = np.array([flat.value[leaf] for leaf in leaves], dtype=float)
+        variances = np.array([flat.variance[leaf] for leaf in leaves], dtype=float)
         return means, variances
 
     @property
     def depth(self) -> int:
-        """Actual depth of the fitted tree (0 for a single leaf)."""
+        """Actual depth of the fitted tree (0 for a single leaf).
 
-        def _depth(node: Optional[_Node]) -> int:
-            if node is None or node.is_leaf:
-                return 0
-            return 1 + max(_depth(node.left), _depth(node.right))
-
-        if self._root is None:
+        Iterative over the flat node table — preorder numbering guarantees
+        children follow their parents, so one ascending pass suffices and
+        arbitrarily deep trees cannot hit the recursion limit.
+        """
+        if self._flat is None:
             raise RuntimeError("tree is not fitted")
-        return _depth(self._root)
+        flat = self._flat
+        depths = np.zeros(flat.n_nodes, dtype=np.intp)
+        max_depth = 0
+        for node in range(flat.n_nodes):
+            left = flat.left[node]
+            if left < 0:
+                continue
+            child_depth = depths[node] + 1
+            depths[left] = child_depth
+            depths[flat.right[node]] = child_depth
+            if child_depth > max_depth:
+                max_depth = int(child_depth)
+        return max_depth
 
     @property
     def n_leaves(self) -> int:

@@ -1,0 +1,402 @@
+"""Level-synchronous, all-trees-at-once random-forest construction.
+
+:func:`build_forest_flat` grows every tree of a forest simultaneously, one
+depth level per iteration, and emits preorder-numbered
+:class:`repro.ml.tree.FlatTree` node tables directly — no pointer nodes, no
+per-node Python recursion, and no per-node sorting:
+
+* each feature column is argsorted **once per fit** (stable mergesort), and
+  that order is shared by every tree and every node.  Bootstrap resamples
+  are per-tree integer sample-weight vectors over the shared row universe,
+  so resampling never reorders anything;
+* a node's per-feature sorted member order is maintained as a permutation
+  that is *stably partitioned* when the node splits, which preserves
+  ``(feature value, row index)`` order in both children — exactly the order
+  a per-node stable argsort would produce;
+* one NumPy pass per (level, feature) scores the best variance-reduction
+  split of **every** ``(tree, node)`` pair at once: member rows are
+  scattered into per-node zero-padded rectangles and weighted cumulative
+  sums along the rectangle rows evaluate every candidate boundary.
+
+Bit-for-bit parity with the pointer reference
+---------------------------------------------
+``DecisionTreeRegressor.fit_pointer`` and this builder must produce
+identical node tables for the same seed (guarded by
+``tests/ml/test_fit_equivalence.py``).  Three invariants make that exact
+rather than approximate:
+
+1. **RNG consumption** — feature-subsampling keys are drawn per tree in
+   level order, one ``(n_expanding_nodes, n_features)`` block per level,
+   which consumes the per-tree bit stream byte-for-byte like the
+   reference's per-node ``rng.random(n_features)`` calls.
+2. **Summation order** — every statistic is a sequential cumulative sum
+   over members in a defined order (ascending row index for node stats,
+   feature-sorted for split scans).  Rectangle rows are zero-padded on the
+   right, so ``np.cumsum(..., axis=1)`` performs the same additions as the
+   reference's per-node 1-D cumsums.
+3. **Tie-breaking** — first minimum along the sorted positions within a
+   feature, lowest feature index across features (``np.argmin`` on an
+   ``inf``-masked score matrix), matching the reference's strict ``<``
+   scan in ascending feature order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.tree import FlatTree
+
+
+def _segment_starts(ids: np.ndarray) -> np.ndarray:
+    """Start offsets of maximal runs of equal values in a sorted array."""
+    if ids.size == 0:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(
+        ([0], np.flatnonzero(ids[1:] != ids[:-1]) + 1)
+    ).astype(np.intp)
+
+
+def _stable_partition(
+    perm: np.ndarray,
+    node_of: np.ndarray,
+    go_left: np.ndarray,
+    keep: np.ndarray,
+) -> np.ndarray:
+    """Partition each node's slot segment into (lefts, rights), stably.
+
+    ``perm`` lists slots grouped by node; ``go_left``/``keep`` are flat
+    per-slot lookups.  Slots of non-splitting nodes are dropped; within a
+    surviving segment lefts keep their relative order, then rights keep
+    theirs — which preserves both the ascending-row and the feature-sorted
+    invariants in the children.  Integer prefix counts make this exact.
+    """
+    kept = perm[keep[perm]]
+    if kept.size == 0:
+        return kept
+    starts = _segment_starts(node_of[kept])
+    lengths = np.diff(np.append(starts, kept.size))
+    left = go_left[kept]
+    left_int = left.astype(np.intp)
+    prefix = np.cumsum(left_int)
+    seg_prefix = prefix - np.repeat(prefix[starts] - left_int[starts], lengths)
+    n_left = np.repeat(seg_prefix[starts + lengths - 1], lengths)
+    start_rep = np.repeat(starts, lengths)
+    pos = np.arange(kept.size, dtype=np.intp) - start_rep
+    new_pos = np.where(
+        left,
+        start_rep + seg_prefix - 1,
+        start_rep + n_left + pos - seg_prefix,
+    )
+    out = np.empty_like(kept)
+    out[new_pos] = kept
+    return out
+
+
+class _LevelRecords:
+    """Node records for one depth level (parallel arrays, creation order)."""
+
+    def __init__(self, tree, total_w, value, variance, pure):
+        count = tree.shape[0]
+        self.tree = tree
+        self.total_w = total_w
+        self.value = value
+        self.variance = variance
+        self.pure = pure
+        self.feature = np.full(count, -1, dtype=np.intp)
+        self.threshold = np.full(count, np.nan)
+        self.left = np.full(count, -1, dtype=np.intp)
+        self.right = np.full(count, -1, dtype=np.intp)
+
+    def __len__(self) -> int:
+        return self.tree.shape[0]
+
+
+def build_forest_flat(
+    X: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    *,
+    max_depth: Optional[int],
+    min_samples_split: int,
+    min_samples_leaf: int,
+    n_split_features: int,
+) -> List[FlatTree]:
+    """Fit ``weights.shape[0]`` trees at once; returns one FlatTree per tree.
+
+    ``weights[t]`` is tree ``t``'s non-negative per-row sample weight (the
+    bootstrap multiplicity); rows with weight 0 are not members of tree
+    ``t``.  ``rngs[t]`` is tree ``t``'s feature-subsampling stream.
+    """
+    X = np.ascontiguousarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    weights = np.asarray(weights, dtype=float)
+    n_rows, n_features = X.shape
+    n_trees = weights.shape[0]
+    if weights.shape[1] != n_rows:
+        raise ValueError("weights must have one column per row of X")
+    if len(rngs) != n_trees:
+        raise ValueError("need one RNG per tree")
+
+    # ---- shared per-fit precomputation -----------------------------------
+    # One stable argsort per feature for the whole forest; per-slot weighted
+    # target products shared by every scan.  A "slot" is a (tree, row) pair,
+    # id = tree * n_rows + row.
+    order = np.argsort(X, axis=0, kind="mergesort")  # (n_rows, n_features)
+    x_cols = [np.ascontiguousarray(X[:, f]) for f in range(n_features)]
+    w_of = weights.ravel()
+    wy_of = (weights * y[None, :]).ravel()
+    wyy_of = (weights * y[None, :] * y[None, :]).ravel()
+    y_of = np.ascontiguousarray(np.broadcast_to(y, (n_trees, n_rows))).ravel()
+    row_of = np.ascontiguousarray(
+        np.broadcast_to(np.arange(n_rows, dtype=np.intp), (n_trees, n_rows))
+    ).ravel()
+    tree_base = (np.arange(n_trees, dtype=np.intp) * n_rows)[:, None]
+
+    active = weights > 0  # (n_trees, n_rows)
+    perms: List[np.ndarray] = []
+    for f in range(n_features):
+        tiled = order[:, f][None, :] + tree_base  # slots in x-order per tree
+        perms.append(tiled[active[:, order[:, f]]])
+    perm_idx = (np.arange(n_rows, dtype=np.intp)[None, :] + tree_base)[active]
+
+    node_of = np.full(n_trees * n_rows, -1, dtype=np.intp)
+    node_of[perm_idx] = perm_idx // n_rows  # root of tree t has global id t
+
+    def node_payload(perm: np.ndarray) -> _LevelRecords:
+        """Stats for the nodes whose members ``perm`` lists (ascending rows)."""
+        starts = _segment_starts(node_of[perm])
+        lengths = np.diff(np.append(starts, perm.size))
+        n_seg = starts.size
+        max_len = int(lengths.max())
+        seg_of = np.repeat(np.arange(n_seg, dtype=np.intp), lengths)
+        pos = np.arange(perm.size, dtype=np.intp) - np.repeat(starts, lengths)
+        rect = np.zeros((3, n_seg, max_len))
+        rect[0, seg_of, pos] = w_of[perm]
+        rect[1, seg_of, pos] = wy_of[perm]
+        rect[2, seg_of, pos] = wyy_of[perm]
+        rect = np.cumsum(rect, axis=2)
+        last = lengths - 1
+        seg_ids = np.arange(n_seg)
+        total_w = rect[0, seg_ids, last]
+        total_wy = rect[1, seg_ids, last]
+        total_wyy = rect[2, seg_ids, last]
+        mean = total_wy / total_w
+        variance = np.maximum(total_wyy / total_w - mean * mean, 0.0)
+        y_vals = y_of[perm]
+        pure = np.minimum.reduceat(y_vals, starts) == np.maximum.reduceat(
+            y_vals, starts
+        )
+        return _LevelRecords(perm[starts] // n_rows, total_w, mean, variance, pure)
+
+    levels: List[_LevelRecords] = [node_payload(perm_idx)]
+    bases: List[int] = [0]
+    total_nodes = len(levels[0])
+
+    # ---- breadth-first frontier ------------------------------------------
+    level = 0
+    while True:
+        records = levels[level]
+        base = bases[level]
+        expand = (records.total_w >= min_samples_split) & ~records.pure
+        if max_depth is not None and level >= max_depth:
+            expand[:] = False
+        expand_idx = np.flatnonzero(expand)
+        if expand_idx.size == 0:
+            break
+        n_expand = expand_idx.size
+        expand_rank = np.full(len(records), -1, dtype=np.intp)
+        expand_rank[expand_idx] = np.arange(n_expand, dtype=np.intp)
+
+        # Retire slots of nodes that just became leaves.
+        perm_idx = perm_idx[expand[node_of[perm_idx] - base]]
+        for f in range(n_features):
+            perm = perms[f]
+            perms[f] = perm[expand[node_of[perm] - base]]
+
+        # Feature-subsampling draws: per tree, one block covering its
+        # expanding nodes in creation order (nodes are stored tree-major).
+        feature_mask = np.zeros((n_expand, n_features), dtype=bool)
+        expand_trees = records.tree[expand_idx]
+        bounds = np.searchsorted(expand_trees, np.arange(n_trees + 1))
+        for t in range(n_trees):
+            lo, hi = int(bounds[t]), int(bounds[t + 1])
+            if hi > lo:
+                keys = rngs[t].random((hi - lo, n_features))
+                kth = np.partition(keys, n_split_features - 1, axis=1)
+                feature_mask[lo:hi] = keys <= kth[:, n_split_features - 1 : n_split_features]
+
+        # One scan per feature scores every (node, candidate) pair at once.
+        score = np.full((n_expand, n_features), np.inf)
+        threshold = np.zeros((n_expand, n_features))
+        for f in range(n_features):
+            perm = perms[f]
+            if perm.size == 0:
+                continue
+            ranks = expand_rank[node_of[perm] - base]
+            in_subset = feature_mask[ranks, f]
+            sub = perm[in_subset]
+            if sub.size == 0:
+                continue
+            sub_rank = ranks[in_subset]
+            starts = _segment_starts(sub_rank)
+            lengths = np.diff(np.append(starts, sub.size))
+            max_len = int(lengths.max())
+            if max_len < 2:
+                continue
+            n_seg = starts.size
+            seg_of = np.repeat(np.arange(n_seg, dtype=np.intp), lengths)
+            pos = np.arange(sub.size, dtype=np.intp) - np.repeat(starts, lengths)
+            xs = np.full((n_seg, max_len), np.nan)
+            xs[seg_of, pos] = x_cols[f][row_of[sub]]
+            rect = np.zeros((3, n_seg, max_len))
+            rect[0, seg_of, pos] = w_of[sub]
+            rect[1, seg_of, pos] = wy_of[sub]
+            rect[2, seg_of, pos] = wyy_of[sub]
+            rect = np.cumsum(rect, axis=2)
+            cw, cwy, cwyy = rect[0], rect[1], rect[2]
+            seg_ids = np.arange(n_seg)
+            last = lengths - 1
+            total_w = cw[seg_ids, last]
+            total_wy = cwy[seg_ids, last]
+            total_wyy = cwyy[seg_ids, last]
+            left_w = cw[:, :-1]
+            valid = (
+                (xs[:, :-1] < xs[:, 1:])
+                & (left_w >= min_samples_leaf)
+                & (total_w[:, None] - left_w >= min_samples_leaf)
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sse_left = cwyy[:, :-1] - cwy[:, :-1] ** 2 / left_w
+                sse_right = (total_wyy[:, None] - cwyy[:, :-1]) - (
+                    total_wy[:, None] - cwy[:, :-1]
+                ) ** 2 / (total_w[:, None] - left_w)
+                seg_scores = np.where(valid, sse_left + sse_right, np.inf)
+            best_pos = np.argmin(seg_scores, axis=1)
+            best_scores = seg_scores[seg_ids, best_pos]
+            has = np.flatnonzero(best_scores < np.inf)
+            if has.size == 0:
+                continue
+            rows_at = sub_rank[starts[has]]
+            score[rows_at, f] = best_scores[has]
+            threshold[rows_at, f] = (
+                xs[has, best_pos[has]] + xs[has, best_pos[has] + 1]
+            ) / 2.0
+
+        # Lowest feature index wins ties, matching the reference's strict <.
+        win_feature = np.argmin(score, axis=1)
+        expand_ids = np.arange(n_expand)
+        can_split = score[expand_ids, win_feature] < np.inf
+        win_threshold = threshold[expand_ids, win_feature]
+
+        # Route members; a midpoint that rounds onto the right value could
+        # empty one child, in which case the node degenerates to a leaf.
+        ranks_idx = expand_rank[node_of[perm_idx] - base]
+        starts_idx = _segment_starts(ranks_idx)
+        lengths_idx = np.diff(np.append(starts_idx, perm_idx.size))
+        go_left = np.zeros(perm_idx.size, dtype=bool)
+        routed = can_split[ranks_idx]
+        routed_rows = row_of[perm_idx[routed]]
+        go_left[routed] = (
+            X[routed_rows, win_feature[ranks_idx[routed]]]
+            <= win_threshold[ranks_idx[routed]]
+        )
+        n_left = np.add.reduceat(go_left.astype(np.intp), starts_idx)
+        seg_rank = ranks_idx[starts_idx]
+        degenerate = can_split[seg_rank] & ((n_left == 0) | (n_left == lengths_idx))
+        if degenerate.any():
+            can_split[seg_rank[degenerate]] = False
+
+        split_ranks = np.flatnonzero(can_split)
+        if split_ranks.size == 0:
+            break
+        n_split = split_ranks.size
+        child_base = total_nodes
+        left_ids = child_base + 2 * np.arange(n_split, dtype=np.intp)
+        right_ids = left_ids + 1
+        split_no = np.full(n_expand, -1, dtype=np.intp)
+        split_no[split_ranks] = np.arange(n_split, dtype=np.intp)
+
+        global_idx = expand_idx[split_ranks]
+        records.feature[global_idx] = win_feature[split_ranks]
+        records.threshold[global_idx] = win_threshold[split_ranks]
+        records.left[global_idx] = left_ids
+        records.right[global_idx] = right_ids
+
+        # Stable-partition every permutation, then relabel slots.
+        go_left_flat = np.zeros(n_trees * n_rows, dtype=bool)
+        go_left_flat[perm_idx] = go_left
+        keep_flat = np.zeros(n_trees * n_rows, dtype=bool)
+        keep_flat[perm_idx] = can_split[ranks_idx]
+        for f in range(n_features):
+            perms[f] = _stable_partition(perms[f], node_of, go_left_flat, keep_flat)
+        perm_idx = _stable_partition(perm_idx, node_of, go_left_flat, keep_flat)
+        child_no = split_no[expand_rank[node_of[perm_idx] - base]]
+        node_of[perm_idx] = np.where(
+            go_left_flat[perm_idx], left_ids[child_no], right_ids[child_no]
+        )
+
+        levels.append(node_payload(perm_idx))
+        bases.append(child_base)
+        total_nodes += 2 * n_split
+        level += 1
+
+    # ---- preorder renumbering and per-tree emission ----------------------
+    tree_g = np.concatenate([rec.tree for rec in levels])
+    value_g = np.concatenate([rec.value for rec in levels])
+    variance_g = np.concatenate([rec.variance for rec in levels])
+    total_w_g = np.concatenate([rec.total_w for rec in levels])
+    feature_g = np.concatenate([rec.feature for rec in levels])
+    threshold_g = np.concatenate([rec.threshold for rec in levels])
+    left_g = np.concatenate([rec.left for rec in levels])
+    right_g = np.concatenate([rec.right for rec in levels])
+
+    sizes = np.ones(total_nodes, dtype=np.intp)
+    internal_per_level = []
+    for rec, base in zip(levels, bases):
+        internal_per_level.append(np.flatnonzero(rec.left >= 0) + base)
+    for ids in reversed(internal_per_level):
+        if ids.size:
+            sizes[ids] = 1 + sizes[left_g[ids]] + sizes[right_g[ids]]
+    preorder = np.zeros(total_nodes, dtype=np.intp)
+    for ids in internal_per_level:
+        if ids.size:
+            preorder[left_g[ids]] = preorder[ids] + 1
+            preorder[right_g[ids]] = preorder[ids] + 1 + sizes[left_g[ids]]
+
+    flats: List[FlatTree] = []
+    for t in range(n_trees):
+        members = np.flatnonzero(tree_g == t)
+        positions = preorder[members]
+        count = members.size
+        feature = np.zeros(count, dtype=np.intp)
+        threshold = np.full(count, np.nan)
+        left = np.full(count, -1, dtype=np.intp)
+        right = np.full(count, -1, dtype=np.intp)
+        value = np.empty(count)
+        variance = np.empty(count)
+        n_samples = np.empty(count, dtype=np.intp)
+        value[positions] = value_g[members]
+        variance[positions] = variance_g[members]
+        n_samples[positions] = total_w_g[members].astype(np.intp)
+        internal = feature_g[members] >= 0
+        src = members[internal]
+        dst = positions[internal]
+        feature[dst] = feature_g[src]
+        threshold[dst] = threshold_g[src]
+        left[dst] = preorder[left_g[src]]
+        right[dst] = preorder[right_g[src]]
+        flats.append(
+            FlatTree(
+                feature=feature,
+                threshold=threshold,
+                left=left,
+                right=right,
+                value=value,
+                variance=variance,
+                n_samples=n_samples,
+            )
+        )
+    return flats

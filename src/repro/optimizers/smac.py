@@ -99,7 +99,7 @@ class SMACOptimizer(Optimizer):
 
     def _candidate_pool(self, configs: List[Configuration], y: np.ndarray) -> List[Configuration]:
         candidates = self.space.sample_batch(self.n_candidates, rng=self._rng)
-        if configs:
+        if configs and self.n_local > 0:
             order = np.argsort(y)
             top = [configs[int(i)] for i in order[: max(1, len(order) // 10)]]
             per_incumbent = max(1, self.n_local // len(top))
@@ -119,6 +119,11 @@ class SMACOptimizer(Optimizer):
 
         forest, X, y, configs = self._fit_surrogate()
         candidates = self._candidate_pool(configs, y)
+        if not candidates:
+            # Degenerate pool (n_candidates=0 and no local search): fall back
+            # to a random sample instead of letting ``ei.max()`` raise on an
+            # empty array.
+            return self.space.sample(self._rng)
         cand_X = self.space.encode_batch(candidates)
         mean, std = forest.predict_mean_std(cand_X)
         ei = expected_improvement(mean, std, best_cost=float(np.min(y)), xi=self.xi)

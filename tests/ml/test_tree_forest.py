@@ -39,15 +39,33 @@ class TestDecisionTree:
     def test_min_samples_leaf_respected(self):
         X, y = _make_regression(n=60)
         tree = DecisionTreeRegressor(min_samples_leaf=10, seed=0).fit(X, y)
+        flat = tree.flat
+        leaves = flat.left < 0
+        assert np.all(flat.n_samples[leaves] >= 10)
 
-        def check(node):
-            if node.is_leaf:
-                assert node.n_samples >= 10
-            else:
-                check(node.left)
-                check(node.right)
+    def test_depth_iterative_on_degenerate_chain(self):
+        # An exponentially growing target keeps splitting off the largest
+        # remaining elements, producing a heavily unbalanced tree; computing
+        # its depth under a tiny recursion budget proves the walk is
+        # iterative (the old nested-recursive version needed ~2 frames per
+        # level and would raise RecursionError here).
+        import inspect
+        import sys
 
-        check(tree._root)
+        n = 600
+        X = np.arange(n, dtype=float)[:, None]
+        y = 1.8 ** np.arange(n)
+        tree = DecisionTreeRegressor(seed=0).fit(X, y)
+        limit = sys.getrecursionlimit()
+        # Leave headroom above the live stack (pytest runners vary) while
+        # staying far below what a recursive walk of this tree would need.
+        sys.setrecursionlimit(len(inspect.stack()) + 50)
+        try:
+            depth = tree.depth
+        finally:
+            sys.setrecursionlimit(limit)
+        assert depth > 250
+        assert tree.n_leaves == n
 
     def test_generalises_on_smooth_function(self):
         X, y = _make_regression(n=400, seed=1)
