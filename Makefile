@@ -8,9 +8,10 @@
 #   make bench-async      async batched execution makespan microbenchmark
 #   make bench-hetero     heterogeneous-fleet placement microbenchmark
 #   make bench-straggler  speculative re-execution under injected stragglers
+#   make bench-resilience crash recovery + durable checkpointing microbenchmark
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler
+.PHONY: test test-fast lint bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience
 
 test:
 	./tools/run_tier1.sh
@@ -35,6 +36,9 @@ bench-hetero:
 
 bench-straggler:
 	./tools/run_straggler_bench.sh
+
+bench-resilience:
+	./tools/run_resilience_bench.sh
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q

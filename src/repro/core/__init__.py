@@ -28,10 +28,12 @@ from repro.core.aggregation import AggregationPolicy, aggregate
 from repro.core.async_engine import (
     AsyncExecutionEngine,
     ClusterEventLoop,
+    RetryPolicy,
     WorkItem,
     WorkRequest,
 )
 from repro.core.datastore import Datastore, Sample
+from repro.core.eventlog import EventLog, EventLogError
 from repro.core.execution import ExecutionEngine
 from repro.core.multi_fidelity import SuccessiveHalvingSchedule
 from repro.core.noise_adjuster import NoiseAdjuster
@@ -45,17 +47,27 @@ from repro.core.samplers import (
     build_sampler,
 )
 from repro.core.scheduler import MultiFidelityTaskScheduler
-from repro.core.tuner import DeploymentResult, TuningLoop, TuningResult, deploy_configuration
+from repro.core.tuner import (
+    DeploymentResult,
+    StudyInterrupted,
+    TuningLoop,
+    TuningResult,
+    deploy_configuration,
+)
 
 __all__ = [
     "AggregationPolicy",
     "AsyncExecutionEngine",
     "ClusterEventLoop",
     "Datastore",
+    "EventLog",
+    "EventLogError",
     "IterationReport",
     "build_sampler",
     "DeploymentResult",
     "ExecutionEngine",
+    "RetryPolicy",
+    "StudyInterrupted",
     "MultiFidelityTaskScheduler",
     "NaiveDistributedSampler",
     "NoiseAdjuster",

@@ -34,6 +34,18 @@ first-finish-wins, the loser cancelled and its worker released.  With the
 ``"none"`` model (or no model) both features are structurally inert: no RNG
 is consumed and no code path differs, so trajectories are bit-for-bit the
 legacy ones.
+
+Crash faults ride the same contract: an optional
+:class:`~repro.faults.CrashModel` decides at submission time whether a work
+item *fails* at a sampled instant instead of completing (transient mid-run
+errors, or permanent fail-stop node death that drains the worker from the
+fleet).  The engine recovers: failed items are resubmitted to a different
+eligible worker under a :class:`RetryPolicy` with capped exponential
+backoff, and a slot that exhausts its retry budget surfaces as a
+``crashed=True`` sample carrying the paper's crash-penalty value — the
+driver and optimizer always see exactly one result per slot.  The
+``"none"`` crash model (or no model, or no retry policy) is structurally
+inert, exactly like the duration models.
 """
 
 from __future__ import annotations
@@ -49,13 +61,51 @@ from repro.configspace import Configuration
 from repro.core.datastore import Sample
 from repro.core.execution import ExecutionEngine
 from repro.faults import (
+    CrashContext,
+    CrashModel,
+    CrashStats,
     FaultContext,
     FaultModel,
     SpeculationPolicy,
     SpeculationStats,
     StragglerDetector,
+    build_crash_model,
     build_fault_model,
 )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery policy for fail-stop work-item failures.
+
+    A failed item is resubmitted to a different eligible worker after a
+    backoff delay of ``backoff_hours * backoff_factor ** attempt`` (capped
+    at ``max_backoff_hours``), up to ``max_retries`` resubmissions per
+    sample slot.  ``max_retries=0`` means no second chances: every failure
+    immediately surfaces as a crash-penalty sample.
+    """
+
+    max_retries: int = 2
+    backoff_hours: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_hours < 0:
+            raise ValueError("backoff_hours must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_hours < self.backoff_hours:
+            raise ValueError("max_backoff_hours must be >= backoff_hours")
+
+    def delay_hours(self, attempt: int) -> float:
+        """Backoff before resubmission number ``attempt + 1`` (0-based)."""
+        return min(
+            self.backoff_hours * self.backoff_factor ** attempt,
+            self.max_backoff_hours,
+        )
 
 
 @dataclass
@@ -85,7 +135,11 @@ class WorkItem:
     ``stretch`` is the fault model's duration multiplier (1.0 when nothing
     was injected); ``speculative`` marks a duplicate launched by straggler
     mitigation, and ``cancelled`` the losing side of a first-finish-wins
-    pair (cancelled items are never evaluated).
+    pair (cancelled items are never evaluated).  ``failed`` marks an item a
+    crash model killed: it pops at its failure instant (``finish_hours`` is
+    rescheduled there) and is never evaluated; ``retried`` marks a recovery
+    resubmission of a failed slot, and ``done`` an item whose completion
+    event has already popped (such items can no longer be cancelled).
     """
 
     request: WorkRequest
@@ -97,6 +151,10 @@ class WorkItem:
     stretch: float = 1.0
     speculative: bool = False
     cancelled: bool = False
+    failed: bool = False
+    failure_kind: str = ""
+    retried: bool = False
+    done: bool = False
 
 
 class ClusterEventLoop:
@@ -121,14 +179,19 @@ class ClusterEventLoop:
         cluster: Cluster,
         lockstep: bool = False,
         fault_model: "FaultModel | str | None" = None,
+        crash_model: "CrashModel | str | None" = None,
     ) -> None:
         self.cluster = cluster
         self.lockstep = lockstep
         self.fault_model = build_fault_model(fault_model)
+        self.crash_model = build_crash_model(crash_model)
         self._free_at: Dict[str, float] = {vm.vm_id: 0.0 for vm in cluster.workers}
         self._events: List[Tuple[float, int, WorkItem]] = []
         self._sequence = 0
         self._n_cancelled = 0
+        #: Fail-stop node deaths: worker id -> simulated death time.  Dead
+        #: workers reject submissions and never report as idle.
+        self._dead: Dict[str, float] = {}
         #: Simulated time of the orchestrator = finish time of the last
         #: completion processed (monotone non-decreasing).
         self.now = 0.0
@@ -142,7 +205,18 @@ class ClusterEventLoop:
         vm: VirtualMachine,
         duration_hours: float,
         speculative: bool = False,
+        not_before: float = 0.0,
     ) -> WorkItem:
+        """Queue one run on a worker; returns its scheduled work item.
+
+        ``not_before`` delays the start below which the run may not begin
+        (retry backoff): the item starts at the latest of the worker's queue
+        drain, the orchestrator clock and ``not_before``.  When a crash
+        model is armed it is consulted here, after the duration model: a
+        failed item's completion event is rescheduled to its failure
+        instant, its worker released there (transient failures) or drained
+        permanently (node death).
+        """
         if duration_hours <= 0:
             raise ValueError("duration_hours must be positive")
         if vm.vm_id not in self._free_at:
@@ -152,7 +226,7 @@ class ClusterEventLoop:
             # clock; there is never more than one request in flight.
             start = self.now
         else:
-            start = max(self._free_at[vm.vm_id], self.now)
+            start = max(self._free_at[vm.vm_id], self.now, not_before)
         stretch = 1.0
         if self.fault_model is not None and not self.fault_model.is_null:
             context = FaultContext(
@@ -167,7 +241,6 @@ class ClusterEventLoop:
             finish = start + duration_hours * stretch
         else:
             finish = start + duration_hours
-        self._free_at[vm.vm_id] = finish
         item = WorkItem(
             request,
             vm,
@@ -177,6 +250,39 @@ class ClusterEventLoop:
             stretch=stretch,
             speculative=speculative,
         )
+        if vm.vm_id in self._dead:
+            # The worker's death was decided by an earlier submission but is
+            # only *observed* when that failure event pops; work routed here
+            # in the window between the two errors out instantly at its
+            # start (``start >= death``: the worker's queue drains at the
+            # death instant) and takes the normal recovery path.
+            item.failed = True
+            item.failure_kind = "node-death"
+            finish = start
+            item.finish_hours = start
+        elif self.crash_model is not None and not self.crash_model.is_null:
+            decision = self.crash_model.decide(
+                CrashContext(
+                    worker_id=vm.vm_id,
+                    start_hours=start,
+                    duration_hours=finish - start,
+                    speculative=speculative,
+                )
+            )
+            if decision.failed:
+                # The run dies at the sampled instant (clamped into its
+                # window): its completion event fires there instead, so the
+                # orchestrator observes the failure when a real monitor
+                # would.  Failure is decided at submission but *revealed* at
+                # the pop — nothing downstream may peek at it earlier.
+                fail_at = min(max(decision.fail_at_hours, start), finish)
+                item.failed = True
+                item.failure_kind = decision.kind
+                finish = fail_at
+                item.finish_hours = fail_at
+                if decision.worker_dead:
+                    self._dead[vm.vm_id] = fail_at
+        self._free_at[vm.vm_id] = finish
         heapq.heappush(self._events, (finish, self._sequence, item))
         self._sequence += 1
         return item
@@ -190,10 +296,19 @@ class ClusterEventLoop:
         return self._free_at[vm_id]
 
     def idle_workers(self) -> List[VirtualMachine]:
-        """Workers whose queue has drained at the current simulated time."""
+        """Live workers whose queue has drained at the current simulated time."""
         return [
-            vm for vm in self.cluster.workers if self._free_at[vm.vm_id] <= self.now
+            vm
+            for vm in self.cluster.workers
+            if self._free_at[vm.vm_id] <= self.now and vm.vm_id not in self._dead
         ]
+
+    def is_dead(self, vm_id: str) -> bool:
+        return vm_id in self._dead
+
+    @property
+    def n_dead(self) -> int:
+        return len(self._dead)
 
     def peek_finish(self) -> Optional[float]:
         """Finish time of the earliest pending completion (None when idle)."""
@@ -211,9 +326,15 @@ class ClusterEventLoop:
         was decided for a running item, or the item's scheduled start for
         one still queued.  Items queued *behind* the cancelled one keep
         their scheduled times (conservative, and deterministic).
+
+        Completed items — evaluated *or merely popped* (a failed item is
+        popped without ever being evaluated) — cannot be cancelled: their
+        completion event already fired, and rewinding the worker's clock for
+        one would corrupt the in-flight accounting of everything scheduled
+        after it.
         """
-        if item.sample is not None:
-            raise RuntimeError("cannot cancel an already-evaluated item")
+        if item.sample is not None or item.done:
+            raise RuntimeError("cannot cancel an already-completed item")
         if item.cancelled:
             return
         item.cancelled = True
@@ -248,14 +369,19 @@ class ClusterEventLoop:
 
         Cancelled items are skipped silently; they advance neither ``now``
         nor the makespan (their worker was already released by
-        :meth:`cancel`).
+        :meth:`cancel`).  A *failed* item pops at its failure instant and
+        advances only ``now`` — like a detection event, a failure is an
+        observation, not delivered work; only real completions (including
+        the eventual retry's) define the run's wall-clock.
         """
         self._purge_cancelled_heads()
         if not self._events:
             raise RuntimeError("no work in flight")
         finish, _, item = heapq.heappop(self._events)
         self.now = max(self.now, finish)
-        self.makespan = max(self.makespan, finish)
+        if not item.failed:
+            self.makespan = max(self.makespan, finish)
+        item.done = True
         return item
 
 
@@ -290,11 +416,15 @@ class AsyncExecutionEngine:
         speculation: "SpeculationPolicy | bool | None" = None,
         scheduler=None,
         used_workers_fn: Optional[Callable[[Configuration], Sequence[str]]] = None,
+        crash_model: "CrashModel | str | None" = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        event_log=None,
     ) -> None:
         self.execution = execution
         self.cluster = cluster
         self.lockstep = lockstep
         fault_model = build_fault_model(fault_model)
+        crash_model = build_crash_model(crash_model)
         if speculation is True:
             speculation = SpeculationPolicy()
         elif speculation is False:
@@ -307,14 +437,27 @@ class AsyncExecutionEngine:
                 )
             if speculation is not None:
                 raise ValueError("speculation needs concurrent workers; not lockstep")
-        self.loop = ClusterEventLoop(cluster, lockstep=lockstep, fault_model=fault_model)
+            if crash_model is not None and not crash_model.is_null:
+                raise ValueError(
+                    "crash injection is not supported in lockstep mode "
+                    "(it is the bit-for-bit equivalence gate)"
+                )
+        self.loop = ClusterEventLoop(
+            cluster,
+            lockstep=lockstep,
+            fault_model=fault_model,
+            crash_model=crash_model,
+        )
         self.speculation = speculation
+        self.retry_policy = retry_policy
         self.stats = SpeculationStats()
+        self.crash_stats = CrashStats()
         self._detector = (
             StragglerDetector(speculation) if speculation is not None else None
         )
         self._scheduler = scheduler
         self._used_workers_fn = used_workers_fn
+        self._event_log = event_log
         # Simulated time 0 corresponds to each worker's clock at engine
         # construction; used to keep VM-local clocks on their own timelines.
         self._clock_origin: Dict[str, float] = {
@@ -332,6 +475,14 @@ class AsyncExecutionEngine:
         self._n_clones: Dict[int, int] = {}  # original seq -> clones launched
         self._flagged: Set[int] = set()  # originals already counted as stragglers
         self._config_workers: Dict[Configuration, Set[str]] = {}
+        # Crash-recovery bookkeeping (keyed by item sequence).
+        self._attempts: Dict[int, int] = {}  # retried item seq -> retries so far
+        self._dead_seen: Set[str] = set()  # node deaths already observed
+        # Originals that failed while speculative duplicates were still
+        # racing: sequence -> retry count carried by the slot.  The slot is
+        # decided by whichever duplicate resolves last (win, or failure of
+        # the final copy, which triggers the retry/exhaust path).
+        self._failed_original: Dict[int, int] = {}
         self.n_submitted_requests = 0
         self.n_completed_requests = 0
 
@@ -345,6 +496,16 @@ class AsyncExecutionEngine:
         """Per-worker sample duration: the SKU's baseline-performance factor
         stretches slow workers' runs along their own timelines."""
         return self.execution.duration_hours_for(vm)
+
+    def _log(self, kind: str, **fields) -> None:
+        """Mirror an engine action into the write-ahead event log, if any."""
+        if self._event_log is not None:
+            from repro.core.eventlog import config_digest
+
+            config = fields.pop("config", None)
+            if config is not None:
+                fields["config"] = config_digest(config)
+            self._event_log.append(kind, **fields)
 
     def submit(self, request: WorkRequest) -> List[WorkItem]:
         """Fan a request out into one work item per VM."""
@@ -366,6 +527,15 @@ class AsyncExecutionEngine:
             self._live[item.sequence] = item
             assigned.add(vm.vm_id)
             items.append(item)
+            self._log(
+                "submit",
+                item=item.sequence,
+                config=request.config,
+                worker=vm.vm_id,
+                t=item.start_hours,
+                iteration=request.iteration,
+                budget=request.budget,
+            )
         self.n_submitted_requests += 1
         return items
 
@@ -436,10 +606,19 @@ class AsyncExecutionEngine:
         other side is cancelled before any evaluation — so exactly one
         sample per work item ever reaches the datastore and the optimizer,
         and the losing worker is released at the winner's finish time.
+
+        Failure events branch into the recovery path instead of evaluation:
+        the slot is retried on another worker (or surfaced as a
+        crash-penalty sample once the budget is exhausted), so the driver
+        still observes exactly one result per slot.
         """
         self._speculate_at_crossings()
         item = self.loop.next_completion()
         self._live.pop(item.sequence, None)
+        if item.failed:
+            result = self._handle_failure(item)
+            self._maybe_speculate()
+            return result
         request_id = self._request_id_of.pop(item.sequence)
         if item.speculative:
             # The duplicate won the race: cancel the straggling original and
@@ -449,21 +628,46 @@ class AsyncExecutionEngine:
             original = self._live.pop(original_seq, None)
             if original is not None:
                 self._cancel_item(original)
+                if original.retried and self._scheduler is not None:
+                    # Retried originals hold engine-owned reservations.
+                    self._scheduler.release([original.vm.vm_id])
+            self._attempts.pop(original_seq, None)
+            self._failed_original.pop(original_seq, None)
             self.stats.n_duplicate_wins += 1
             if self._scheduler is not None:
                 self._scheduler.release([item.vm.vm_id])
         else:
             # The original finished first after all: cancel its duplicates.
             self._cancel_clones_of(item.sequence)
+            self._attempts.pop(item.sequence, None)
+            if item.retried and self._scheduler is not None:
+                self._scheduler.release([item.vm.vm_id])
         sample = self._evaluate(item)
         if self._detector is not None:
             self._detector.observe(
                 self.execution.work_units(item.vm, item.finish_hours - item.start_hours)
             )
             self.stats.detection_threshold_hours = self._detector.threshold()
+        self._log(
+            "complete",
+            item=item.sequence,
+            config=item.request.config,
+            worker=item.vm.vm_id,
+            t=item.finish_hours,
+            value=sample.value,
+            crashed=sample.crashed,
+        )
+        result = self._land(request_id, sample)
+        self._maybe_speculate()
+        return result
+
+    def _land(
+        self, request_id: int, sample: Sample
+    ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
+        """Count one landed sample (real or crash-penalty) against its
+        request; returns the completed pair when it was the last open slot."""
         self._samples[request_id].append(sample)
         self._remaining[request_id] -= 1
-        self._maybe_speculate()
         if self._remaining[request_id] != 0:
             return None
         request = self._request_ids.pop(request_id)
@@ -471,6 +675,155 @@ class AsyncExecutionEngine:
         del self._remaining[request_id]
         self.n_completed_requests += 1
         return request, samples
+
+    # -- crash recovery --------------------------------------------------------
+    def _handle_failure(
+        self, item: WorkItem
+    ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
+        """React to a fail-stop failure event.
+
+        Returns the completed ``(request, samples)`` pair when the failure
+        exhausted the slot's retry budget *and* its crash-penalty sample was
+        the request's last open slot; ``None`` otherwise (a retry was
+        submitted, or other copies of the slot are still racing).
+        """
+        worker_id = item.vm.vm_id
+        self.crash_stats.n_failures += 1
+        if item.failure_kind == "transient":
+            self.crash_stats.n_transient_failures += 1
+        elif item.failure_kind == "node-death":
+            self.crash_stats.n_node_death_failures += 1
+        if self.loop.is_dead(worker_id) and worker_id not in self._dead_seen:
+            # The failure *revealed* the node death: drain the worker from
+            # the placement fleet.  Its reservations stay accounted — they
+            # are released through the normal completion/failure paths — so
+            # the study degrades gracefully onto the survivors.
+            self._dead_seen.add(worker_id)
+            self.crash_stats.n_workers_dead += 1
+            if self._scheduler is not None:
+                self._scheduler.mark_dead(worker_id)
+        self._log(
+            "fail",
+            item=item.sequence,
+            config=item.request.config,
+            worker=worker_id,
+            t=item.finish_hours,
+            fault=item.failure_kind,
+            speculative=item.speculative,
+            worker_dead=self.loop.is_dead(worker_id),
+        )
+        if item.speculative:
+            # A speculative duplicate died.  The slot usually still has its
+            # original (or sibling duplicates) racing — then the failure
+            # costs nothing but the duplicate.  If the original already
+            # failed and this was the last live copy, the slot is lost and
+            # enters recovery.
+            self.crash_stats.n_speculative_failures += 1
+            request_id = self._request_id_of.pop(item.sequence)
+            original_seq = self._clone_of.pop(item.sequence)
+            siblings = self._clones_of.get(original_seq)
+            if siblings is not None and item.sequence in siblings:
+                siblings.remove(item.sequence)
+                if not siblings:
+                    self._clones_of.pop(original_seq, None)
+            if self._scheduler is not None:
+                self._scheduler.release([worker_id])  # engine-owned
+            if original_seq in self._failed_original and not self._clones_of.get(
+                original_seq
+            ):
+                attempts = self._failed_original.pop(original_seq)
+                return self._retry_or_exhaust(request_id, item, attempts)
+            return None
+        request_id = self._request_id_of.pop(item.sequence)
+        if item.retried and self._scheduler is not None:
+            self._scheduler.release([worker_id])  # engine-owned
+        attempts = self._attempts.pop(item.sequence, 0)
+        if self._clones_of.get(item.sequence):
+            # Speculative duplicates of this slot are still racing: no retry
+            # yet — whichever copy resolves last decides the slot.
+            self._failed_original[item.sequence] = attempts
+            self._flagged.discard(item.sequence)
+            return None
+        return self._retry_or_exhaust(request_id, item, attempts)
+
+    def _retry_or_exhaust(
+        self, request_id: int, failed_item: WorkItem, attempts: int
+    ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
+        """Resubmit a lost slot under the retry policy, or give up on it.
+
+        A retry goes to the best live worker the configuration has never
+        touched, after the policy's backoff; exhausting the budget (or
+        running out of eligible workers) surfaces the slot as a
+        ``crashed=True`` sample carrying the paper's crash-penalty value, so
+        the optimizer is told a real (bad) result instead of waiting forever
+        on a lost one.
+        """
+        request = self._request_ids[request_id]
+        policy = self.retry_policy
+        if policy is not None and attempts < policy.max_retries:
+            vm = self._pick_retry_worker(request.config)
+            if vm is not None:
+                not_before = failed_item.finish_hours + policy.delay_hours(attempts)
+                item = self.loop.submit(
+                    request, vm, self.duration_for(vm), not_before=not_before
+                )
+                item.retried = True
+                self._attempts[item.sequence] = attempts + 1
+                self._live[item.sequence] = item
+                self._request_id_of[item.sequence] = request_id
+                self._config_workers.setdefault(request.config, set()).add(vm.vm_id)
+                if self._scheduler is not None:
+                    self._scheduler.reserve([vm.vm_id])
+                    self._scheduler.record_external_load(vm.vm_id)
+                self.crash_stats.n_retries += 1
+                self._log(
+                    "retry",
+                    item=item.sequence,
+                    config=request.config,
+                    worker=vm.vm_id,
+                    t=item.start_hours,
+                    attempt=attempts + 1,
+                    failed_worker=failed_item.vm.vm_id,
+                )
+                return None
+        self.crash_stats.n_exhausted += 1
+        sample = self.execution.crashed_sample(
+            request.config,
+            failed_item.vm.vm_id,
+            iteration=request.iteration,
+            budget=request.budget,
+        )
+        return self._land(request_id, sample)
+
+    def _pick_retry_worker(self, config: Configuration) -> Optional[VirtualMachine]:
+        """Best live worker the configuration has never touched.
+
+        Unlike speculative duplicates (which only launch on *idle* workers),
+        a retry may queue behind busy ones: a lost sample must be recovered
+        even on a saturated cluster, so the pick minimises the earliest
+        possible start instead of requiring idleness.  Deterministic and
+        RNG-free: (earliest start, fastest SKU, cluster position).
+        """
+        excluded = set(self._config_workers.get(config, ()))
+        if self._used_workers_fn is not None:
+            excluded.update(self._used_workers_fn(config))
+        candidates = [
+            vm
+            for vm in self.cluster.workers
+            if vm.vm_id not in excluded and not self.loop.is_dead(vm.vm_id)
+        ]
+        if not candidates:
+            return None
+        order = {vm.vm_id: i for i, vm in enumerate(self.cluster.workers)}
+        now = self.loop.now
+        return min(
+            candidates,
+            key=lambda vm: (
+                max(self.loop.worker_free_at(vm.vm_id), now),
+                -vm.speed_factor,
+                order[vm.vm_id],
+            ),
+        )
 
     # -- speculative re-execution ---------------------------------------------
     def _cancel_clones_of(self, original_seq: int, keep: Optional[int] = None) -> None:
@@ -514,6 +867,20 @@ class AsyncExecutionEngine:
             item.vm.vm_id
             for item in self._live.values()
             if item.speculative and item.request.config == config
+        ]
+
+    def auxiliary_workers_for(self, config: Configuration) -> List[str]:
+        """Workers running engine-initiated copies of ``config``'s slots.
+
+        Superset of :meth:`speculative_workers_for`: speculative duplicates
+        *and* crash retries.  Both occupy an existing budget slot rather
+        than a new one, so the sampler's placement excludes these workers
+        without letting them count towards the budget.
+        """
+        return [
+            item.vm.vm_id
+            for item in self._live.values()
+            if (item.speculative or item.retried) and item.request.config == config
         ]
 
     def _speculate_at_crossings(self) -> None:
@@ -632,6 +999,14 @@ class AsyncExecutionEngine:
             self._scheduler.reserve([vm.vm_id])
             self._scheduler.record_external_load(vm.vm_id)
         self.stats.n_duplicates_submitted += 1
+        self._log(
+            "speculate",
+            item=clone.sequence,
+            config=request.config,
+            worker=vm.vm_id,
+            t=clone.start_hours,
+            original_item=item.sequence,
+        )
 
     def next_completed_requests(self) -> List[Tuple[WorkRequest, List[Sample]]]:
         """Drain one *wave* of completions: every request finishing at the

@@ -38,14 +38,35 @@ class Sample:
 
 
 class Datastore:
-    """All samples collected during a tuning run, indexed by configuration."""
+    """All samples collected during a tuning run, indexed by configuration.
 
-    def __init__(self) -> None:
+    When an :class:`~repro.core.eventlog.EventLog` is attached (durable
+    studies), every write is mirrored as a ``"sample"`` event *before* the
+    in-memory catalog is updated — write-ahead, so a kill between the two
+    can lose at most an event the replay validator then flags, never a
+    sample the log knows nothing about.
+    """
+
+    def __init__(self, event_log=None) -> None:
         self._samples: List[Sample] = []
         self._by_config: Dict[Configuration, List[Sample]] = {}
+        #: Optional write-ahead event log (attached by the tuning loop).
+        self.event_log = event_log
 
     # -- writes -------------------------------------------------------
     def add(self, sample: Sample) -> None:
+        if self.event_log is not None:
+            from repro.core.eventlog import config_digest
+
+            self.event_log.append(
+                "sample",
+                config=config_digest(sample.config),
+                worker=sample.worker_id,
+                value=sample.value,
+                iteration=sample.iteration,
+                budget=sample.budget,
+                crashed=sample.crashed,
+            )
         self._samples.append(sample)
         self._by_config.setdefault(sample.config, []).append(sample)
 

@@ -84,6 +84,33 @@ class ExecutionEngine:
             details=dict(result.details),
         )
 
+    def crashed_sample(
+        self,
+        config: Configuration,
+        worker_id: str,
+        iteration: int = 0,
+        budget: int = 1,
+    ) -> Sample:
+        """Synthesize the sample for a run lost to a fail-stop crash.
+
+        Used when the recovery machinery exhausts its retry budget: the
+        measurement never happened, so no RNG is consumed and no telemetry
+        exists — the sample carries only the crash-penalty value (§6.4),
+        exactly like a run that crashed inside the SuT.
+        """
+        self.n_crashes += 1
+        return Sample(
+            config=config,
+            worker_id=worker_id,
+            value=float(self.crash_penalty()),
+            objective_unit=self.workload.objective.unit,
+            iteration=iteration,
+            budget=budget,
+            crashed=True,
+            telemetry=None,
+            details={"fail_stop": True},
+        )
+
     def evaluate_on_many(
         self,
         config: Configuration,

@@ -63,9 +63,11 @@ class Sampler(abc.ABC):
     name = "abstract"
 
     #: Optional hook set by the asynchronous driver when speculative
-    #: re-execution is armed: maps a configuration to the workers currently
-    #: running speculative duplicates of it, so placement can exclude them.
-    #: ``None`` (the default) means no exclusions — the legacy behaviour.
+    #: re-execution or crash recovery is armed: maps a configuration to the
+    #: workers currently running engine-initiated copies of it (speculative
+    #: duplicates, crash retries), so placement can exclude them without
+    #: counting them towards the budget.  ``None`` (the default) means no
+    #: exclusions — the legacy behaviour.
     speculation_probe = None
 
     def __init__(
@@ -305,7 +307,23 @@ class TunaSampler(Sampler):
 
     # ------------------------------------------------------------------ steps
     def _propose(self) -> Tuple[Configuration, int, str]:
-        promotion = self.schedule.propose_promotion()
+        promotion, skipped = None, []
+        while True:
+            candidate = self.schedule.propose_promotion()
+            if candidate is None:
+                break
+            if candidate[1] <= self.scheduler.n_alive:
+                promotion = candidate
+                break
+            # Graceful degradation: node deaths shrank the fleet below this
+            # rung's distinct-node budget, so the promotion can never be
+            # scheduled again.  Park it (kept pending so the next
+            # propose_promotion offers the rung's runner-up) and roll all
+            # parked entries back afterwards — the study continues on the
+            # survivors instead of deadlocking on an unreachable rung.
+            skipped.append(candidate[0])
+        for config in skipped:
+            self.schedule.rollback_promotion(config)
         if promotion is not None:
             config, budget = promotion
             return config, budget, "promotion"

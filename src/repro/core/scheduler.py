@@ -68,10 +68,35 @@ class MultiFidelityTaskScheduler:
             vm.vm_id: i for i, vm in enumerate(cluster.workers)
         }
         self._rr_cursor = 0  # next worker index for "fifo" round-robin
+        # Workers permanently drained from the fleet (fail-stop node death).
+        # They keep their load/reservation bookkeeping — in-flight samples on
+        # a dying worker are still released through the normal paths — but
+        # never appear in an eligible set again.
+        self._dead: set = set()
 
     @property
     def n_workers(self) -> int:
         return self.cluster.n_workers
+
+    # -- fail-stop node death -------------------------------------------------
+    def mark_dead(self, worker_id: str) -> None:
+        """Permanently drain a worker from the fleet (graceful degradation).
+
+        Idempotent.  Placement never selects a dead worker again; existing
+        reservations stay accounted so the failure/retry paths can release
+        them without tripping the over-release guard.
+        """
+        if worker_id not in self._reserved:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        self._dead.add(worker_id)
+
+    def is_dead(self, worker_id: str) -> bool:
+        return worker_id in self._dead
+
+    @property
+    def n_alive(self) -> int:
+        """Workers still accepting placements (fleet size minus the dead)."""
+        return self.cluster.n_workers - len(self._dead)
 
     # -- in-flight reservations ---------------------------------------------
     def reserve(self, worker_ids: Sequence[str]) -> None:
@@ -97,9 +122,13 @@ class MultiFidelityTaskScheduler:
     def eligible_workers(
         self, config: Configuration, already_used: Sequence[str]
     ) -> List[VirtualMachine]:
-        """Workers that have never run this configuration."""
+        """Live workers that have never run this configuration."""
         used = set(already_used)
-        return [vm for vm in self.cluster.workers if vm.vm_id not in used]
+        return [
+            vm
+            for vm in self.cluster.workers
+            if vm.vm_id not in used and vm.vm_id not in self._dead
+        ]
 
     # -- placement rankings ---------------------------------------------------
     def _region_usage(self, used: Sequence[str]) -> Dict[str, int]:

@@ -9,6 +9,9 @@ implements the first half and :func:`deploy_configuration` the second.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -16,10 +19,11 @@ import numpy as np
 
 from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
-from repro.core.async_engine import AsyncExecutionEngine
+from repro.core.async_engine import AsyncExecutionEngine, RetryPolicy
+from repro.core.eventlog import EventLog
 from repro.core.execution import ExecutionEngine
 from repro.core.samplers import IterationReport, Sampler
-from repro.faults import build_fault_model
+from repro.faults import build_crash_model, build_fault_model
 from repro.ml.metrics import coefficient_of_variation, relative_range
 from repro.systems.base import SystemUnderTest
 from repro.workloads.base import Workload
@@ -105,6 +109,48 @@ class DeploymentResult:
         return relative_range(self.values)
 
 
+class StudyInterrupted(RuntimeError):
+    """The ``stop_after_waves`` kill switch fired mid-study.
+
+    Simulates a fail-stop of the tuning *process* itself (as opposed to a
+    worker): the study stops dead at a wave boundary, exactly like a killed
+    run, and can be resurrected with :meth:`TuningLoop.resume` from its
+    last checkpoint.
+    """
+
+    def __init__(self, wave: int, checkpoint_path: Optional[str] = None) -> None:
+        self.wave = wave
+        self.checkpoint_path = checkpoint_path
+        message = f"study interrupted after wave {wave}"
+        if checkpoint_path:
+            message += f"; resume from {checkpoint_path}"
+        super().__init__(message)
+
+
+@dataclass
+class _AsyncRunState:
+    """Everything the asynchronous driver accumulates between waves.
+
+    This is the unit of checkpointing: pickling it (together with the
+    owning :class:`TuningLoop`) captures the engine — and through it the
+    event-loop clocks, fault/crash RNG streams, in-flight item set and
+    scheduler reservations — plus the driver's own counters, so a resumed
+    run continues from the exact wave boundary the checkpoint was taken at.
+    """
+
+    engine: AsyncExecutionEngine
+    batch_size: int
+    lockstep: bool
+    history: List[IterationReport] = field(default_factory=list)
+    hours: float = 0.0
+    samples: int = 0
+    submitted: int = 0
+    submitted_samples: int = 0
+    completed: int = 0
+    zero_streak: int = 0
+    wave_index: int = 0
+
+
 class TuningLoop:
     """Runs a sampler for a fixed number of iterations or wall-clock budget.
 
@@ -137,6 +183,40 @@ class TuningLoop:
         Straggler mitigation: ``True`` for the default
         :class:`~repro.faults.SpeculationPolicy`, or a policy instance.
         Requires ``batch_size >= 2`` (duplicates need idle workers).
+    crash_model:
+        Optional fail-stop crash injection: a
+        :class:`~repro.faults.CrashModel` instance or a registry name
+        (``"none"``, ``"transient"``, ``"node-death"``).  Same contract as
+        ``fault_model``: ``"none"`` (and ``None``) reproduce existing
+        trajectories bit-for-bit, any *active* model requires
+        ``batch_size >= 2``.
+    crash_seed:
+        Master seed for a crash model built from a name (ignored when an
+        instance is passed).
+    retry_policy:
+        :class:`~repro.core.async_engine.RetryPolicy` governing recovery of
+        failed work items (capped exponential backoff, per-slot retry
+        budget).  ``None`` means no retries: every failure immediately
+        surfaces as a crash-penalty sample.  Inert without an active crash
+        model.
+    event_log:
+        Durable append-only JSONL write-ahead log for the study: a file
+        path or an :class:`~repro.core.eventlog.EventLog` instance.  Every
+        submission/completion/failure/retry/speculation/sample event and
+        every checkpoint is recorded, so the study is auditable and
+        resumable.
+    checkpoint_path:
+        Where :meth:`checkpoint` serializes the study (atomic
+        write-then-rename).  When set, a checkpoint is taken automatically
+        every ``checkpoint_every`` waves; requires the asynchronous driver
+        (``batch_size`` set).
+    checkpoint_every:
+        Wave interval between automatic checkpoints (default 1: every wave
+        boundary).
+    stop_after_waves:
+        Testing/demo kill switch: raise :class:`StudyInterrupted` once this
+        many waves have been processed (after the wave's checkpoint, when
+        checkpointing is armed), simulating a killed tuning process.
     """
 
     #: Abort after this many *consecutive* iterations that schedule no new
@@ -157,6 +237,13 @@ class TuningLoop:
         fault_model=None,
         fault_seed: Optional[int] = None,
         speculation=None,
+        crash_model=None,
+        crash_seed: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        event_log=None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        stop_after_waves: Optional[int] = None,
     ) -> None:
         if n_iterations is None and wall_clock_hours is None and max_samples is None:
             raise ValueError(
@@ -174,6 +261,19 @@ class TuningLoop:
         self.batch_size = batch_size
         self.fault_model = build_fault_model(fault_model, seed=fault_seed)
         self.speculation = speculation if speculation not in (False,) else None
+        self.crash_model = build_crash_model(crash_model, seed=crash_seed)
+        self.retry_policy = retry_policy
+        if isinstance(event_log, (str, os.PathLike)):
+            event_log = EventLog(event_log)
+        self.event_log = event_log
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.stop_after_waves = stop_after_waves
+        #: Run state captured by :meth:`checkpoint` / restored by
+        #: :meth:`resume`; only non-None while a run/resume is in progress.
+        self._active_state: Optional[_AsyncRunState] = None
+        self._resume_state: Optional[_AsyncRunState] = None
+        self._probe_armed = False
         fault_active = self.fault_model is not None and not self.fault_model.is_null
         if fault_active and (batch_size is None or batch_size < 2):
             raise ValueError(
@@ -185,6 +285,24 @@ class TuningLoop:
             raise ValueError(
                 "speculative re-execution requires batch_size >= 2 "
                 "(duplicates race on otherwise-idle workers)"
+            )
+        crash_active = self.crash_model is not None and not self.crash_model.is_null
+        if crash_active and (batch_size is None or batch_size < 2):
+            raise ValueError(
+                "an active crash model requires batch_size >= 2: the "
+                "sequential and lockstep paths are the bit-for-bit "
+                "equivalence gates and stay uninjected"
+            )
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if stop_after_waves is not None and stop_after_waves < 1:
+            raise ValueError("stop_after_waves must be >= 1")
+        if (checkpoint_path is not None or stop_after_waves is not None) and (
+            batch_size is None
+        ):
+            raise ValueError(
+                "checkpointing and the wave kill switch live at the "
+                "asynchronous driver's wave boundaries; set batch_size"
             )
 
     def _should_stop(self, iteration: int, hours: float, samples: int) -> bool:
@@ -210,13 +328,17 @@ class TuningLoop:
         return streak
 
     def run(self) -> TuningResult:
+        if self.event_log is not None:
+            # Write-ahead logging: the datastore mirrors every landed sample
+            # into the log before recording it in memory.
+            self.sampler.datastore.event_log = self.event_log
         if self.batch_size is not None:
             try:
                 return self._run_async(self.batch_size)
             finally:
-                # The speculation probe binds the sampler to this run's
-                # engine; never leave it dangling (even on abort).
-                if self.speculation is not None:
+                # The speculation/recovery probe binds the sampler to this
+                # run's engine; never leave it dangling (even on abort).
+                if self._probe_armed:
                     self.sampler.speculation_probe = None
         return self._run_sequential()
 
@@ -267,6 +389,15 @@ class TuningLoop:
         flight and uniform cluster advancement, reproducing the sequential
         loop exactly.
         """
+        if self._resume_state is not None:
+            state = self._resume_state
+            self._resume_state = None
+        else:
+            state = self._start_async_state(batch_size)
+        return self._drive_async(state)
+
+    def _start_async_state(self, batch_size: int) -> _AsyncRunState:
+        """Build the engine and a fresh driver state for an async run."""
         lockstep = batch_size == 1
         engine = AsyncExecutionEngine(
             self.sampler.execution,
@@ -274,82 +405,120 @@ class TuningLoop:
             lockstep=lockstep,
             fault_model=self.fault_model,
             speculation=self.speculation,
+            crash_model=self.crash_model,
+            retry_policy=self.retry_policy,
+            event_log=self.event_log,
             scheduler=getattr(self.sampler, "scheduler", None),
             used_workers_fn=self.sampler.datastore.workers_used,
         )
-        if engine.speculation is not None:
-            # Let placement exclude workers running speculative duplicates
-            # (their eventual result occupies an existing budget slot).
-            self.sampler.speculation_probe = engine.speculative_workers_for
-        history: List[IterationReport] = []
-        hours = 0.0
-        samples = 0
-        submitted = 0
-        submitted_samples = 0
-        completed = 0
+        return _AsyncRunState(engine=engine, batch_size=batch_size, lockstep=lockstep)
+
+    def _crash_active(self) -> bool:
+        return self.crash_model is not None and not self.crash_model.is_null
+
+    def _handle_report(self, state: _AsyncRunState, report: IterationReport) -> None:
         workload = self.sampler.execution.workload
+        report.details.setdefault("objective_unit", workload.objective.unit)
+        report.details.setdefault("higher_is_better", workload.higher_is_better)
+        state.history.append(report)
+        state.samples += report.n_new_samples
+        state.completed += 1
+        state.zero_streak = self._track_progress(report, state.zero_streak)
 
-        zero_streak = 0
+    def _drive_async(self, state: _AsyncRunState) -> TuningResult:
+        engine = state.engine
+        crash_active = self._crash_active()
+        if engine.speculation is not None or (
+            crash_active and engine.retry_policy is not None
+        ):
+            # Let placement exclude workers running speculative duplicates
+            # or crash retries (their eventual result occupies an existing
+            # budget slot rather than a fresh one).
+            self.sampler.speculation_probe = engine.auxiliary_workers_for
+            self._probe_armed = True
+        workload = self.sampler.execution.workload
+        self._active_state = state
+        try:
+            while True:
+                # Fill the in-flight window.  Submission is gated on
+                # *submitted* work (samples already in flight count towards
+                # the budget), so a large batch does not overshoot
+                # ``max_samples`` while the final samples are still running.
+                while state.engine.n_in_flight_items < state.batch_size and not (
+                    self._should_stop(
+                        state.submitted, state.hours, state.submitted_samples
+                    )
+                ):
+                    try:
+                        request = self.sampler.propose_work(state.submitted)
+                    except RuntimeError:
+                        if engine.n_in_flight_items > 0:
+                            # Scheduling failed (the sampler already rolled
+                            # back any promotion reservation); draining
+                            # in-flight work frees workers, so retry after
+                            # the next completion.
+                            break
+                        raise
+                    state.submitted += 1
+                    if not request.vms:
+                        # Nothing to run (budget covered by reused samples):
+                        # complete inline at zero wall-clock cost.
+                        self._handle_report(
+                            state, self.sampler.complete_work(request, [])
+                        )
+                        continue
+                    state.submitted_samples += len(request.vms)
+                    engine.submit(request)
+                if engine.n_in_flight_items == 0:
+                    break
+                # Drain one wave: every request finishing at the same
+                # simulated instant lands together and is fed back as a
+                # single batched tell, so the surrogate refits once per wave
+                # (a single completion — always the case in lockstep mode —
+                # takes the plain single-tell path).
+                wave = engine.next_completed_requests()
+                if len(wave) == 1:
+                    reports = [self.sampler.complete_work(*wave[0])]
+                else:
+                    reports = self.sampler.complete_work_batch(wave)
+                for report in reports:
+                    self._handle_report(state, report)
+                    if state.lockstep:
+                        state.hours += report.wall_clock_hours
+                        if report.wall_clock_hours > 0:
+                            self.sampler.cluster.advance(report.wall_clock_hours)
+                if not state.lockstep:
+                    state.hours = engine.makespan_hours
+                state.wave_index += 1
+                if (
+                    self.checkpoint_path is not None
+                    and state.wave_index % self.checkpoint_every == 0
+                ):
+                    self.checkpoint()
+                if (
+                    self.stop_after_waves is not None
+                    and state.wave_index >= self.stop_after_waves
+                ):
+                    raise StudyInterrupted(state.wave_index, self.checkpoint_path)
+        finally:
+            self._active_state = None
 
-        def handle(report: IterationReport) -> None:
-            nonlocal samples, completed, zero_streak
-            report.details.setdefault("objective_unit", workload.objective.unit)
-            report.details.setdefault("higher_is_better", workload.higher_is_better)
-            history.append(report)
-            samples += report.n_new_samples
-            completed += 1
-            zero_streak = self._track_progress(report, zero_streak)
-
-        while True:
-            # Fill the in-flight window.  Submission is gated on *submitted*
-            # work (samples already in flight count towards the budget), so
-            # a large batch does not overshoot ``max_samples`` while the
-            # final samples are still running.
-            while engine.n_in_flight_items < batch_size and not self._should_stop(
-                submitted, hours, submitted_samples
-            ):
-                try:
-                    request = self.sampler.propose_work(submitted)
-                except RuntimeError:
-                    if engine.n_in_flight_items > 0:
-                        # Scheduling failed (the sampler already rolled back
-                        # any promotion reservation); draining in-flight work
-                        # frees workers, so retry after the next completion.
-                        break
-                    raise
-                submitted += 1
-                if not request.vms:
-                    # Nothing to run (budget covered by reused samples):
-                    # complete inline at zero wall-clock cost.
-                    handle(self.sampler.complete_work(request, []))
-                    continue
-                submitted_samples += len(request.vms)
-                engine.submit(request)
-            if engine.n_in_flight_items == 0:
-                break
-            # Drain one wave: every request finishing at the same simulated
-            # instant lands together and is fed back as a single batched
-            # tell, so the surrogate refits once per wave (a single
-            # completion — always the case in lockstep mode — takes the
-            # plain single-tell path).
-            wave = engine.next_completed_requests()
-            if len(wave) == 1:
-                reports = [self.sampler.complete_work(*wave[0])]
-            else:
-                reports = self.sampler.complete_work_batch(wave)
-            for report in reports:
-                handle(report)
-                if lockstep:
-                    hours += report.wall_clock_hours
-                    if report.wall_clock_hours > 0:
-                        self.sampler.cluster.advance(report.wall_clock_hours)
-            if not lockstep:
-                hours = engine.makespan_hours
-
-        if lockstep:
-            wall_clock = hours
+        if state.lockstep:
+            wall_clock = state.hours
         else:
             wall_clock = engine.finalize()
+
+        engine_stats = {}
+        if engine.speculation is not None:
+            engine_stats.update(engine.stats.as_dict())
+        if crash_active:
+            engine_stats.update(engine.crash_stats.as_dict())
+        if self.event_log is not None:
+            self.event_log.append(
+                "finish",
+                n_samples=state.samples,
+                wall_clock_hours=wall_clock,
+            )
 
         best_config, best_value = self.sampler.best_configuration()
         return TuningResult(
@@ -358,14 +527,90 @@ class TuningLoop:
             best_config=best_config,
             best_catalog_value=best_value,
             higher_is_better=workload.higher_is_better,
-            history=history,
-            n_iterations=completed,
-            n_samples=samples,
+            history=state.history,
+            n_iterations=state.completed,
+            n_samples=state.samples,
             wall_clock_hours=wall_clock,
-            engine_stats=(
-                engine.stats.as_dict() if engine.speculation is not None else None
-            ),
+            engine_stats=engine_stats or None,
         )
+
+    # ----------------------------------------------------------- durability
+    def checkpoint(self) -> str:
+        """Serialize the whole study to ``checkpoint_path`` (atomically).
+
+        The checkpoint is a single pickle of the loop *and* its live driver
+        state: one object graph, so every shared reference (engine ↔ sampler
+        ↔ cluster ↔ event log ↔ RNG streams) survives round-tripping intact.
+        Written via a temp file + :func:`os.replace`, so a kill mid-write
+        leaves the previous checkpoint untouched; the sha256 digest recorded
+        in the event log lets :meth:`resume` detect truncation/corruption.
+        """
+        if self.checkpoint_path is None:
+            raise RuntimeError("no checkpoint_path configured")
+        if self._active_state is None:
+            raise RuntimeError(
+                "checkpoint() is only valid while an asynchronous run is "
+                "active (it is called automatically at wave boundaries)"
+            )
+        payload = pickle.dumps(
+            {"loop": self, "state": self._active_state},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(payload).hexdigest()
+        path = os.path.abspath(self.checkpoint_path)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        if self.event_log is not None:
+            self.event_log.append(
+                "checkpoint",
+                path=path,
+                sha256=digest,
+                wave=self._active_state.wave_index,
+                n_samples=self._active_state.samples,
+            )
+        return path
+
+    @classmethod
+    def resume(cls, path) -> "TuningLoop":
+        """Resurrect a killed study from a checkpoint (or its event log).
+
+        ``path`` may point either directly at a checkpoint file or at an
+        event log, in which case the log's last ``"checkpoint"`` event is
+        located, its recorded sha256 digest verified against the file on
+        disk, and that checkpoint loaded.  The returned loop continues from
+        the exact wave boundary the checkpoint captured: calling
+        :meth:`run` on it reproduces the uninterrupted run's remaining
+        trajectory bit-for-bit.  The ``stop_after_waves`` kill switch is
+        cleared on the resumed loop (the simulated kill already happened).
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as fh:
+            first = fh.read(1)
+        if first != b"\x80":
+            # Not a pickle: treat as an event log and chase its last
+            # checkpoint record (digest-verified inside last_checkpoint).
+            event = EventLog.last_checkpoint(path)
+            path = event["path"]
+        with open(path, "rb") as fh:
+            data = pickle.load(fh)
+        loop: "TuningLoop" = data["loop"]
+        loop._resume_state = data["state"]
+        loop._active_state = None
+        loop._probe_armed = False
+        # The simulated process kill already happened; a resumed study runs
+        # to its real stopping criterion.
+        loop.stop_after_waves = None
+        if loop.event_log is not None:
+            loop.event_log.append(
+                "resume",
+                checkpoint=path,
+                wave=loop._resume_state.wave_index,
+            )
+        return loop
 
 
 def deploy_configuration(

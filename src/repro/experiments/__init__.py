@@ -15,6 +15,7 @@ module                      paper figures
 ``equal_cost``              Figs. 16, 17
 ``component_analysis``      Figs. 18, 19, 20
 ``straggler_study``         straggler mitigation (fault injection)
+``resilience_study``        crash-fault recovery (fail-stop injection)
 ==========================  =====================================
 """
 
@@ -46,6 +47,12 @@ from repro.experiments.noise_convergence import (
     NoiseConvergenceResult,
     run_noise_convergence,
 )
+from repro.experiments.resilience_study import (
+    ResilienceArm,
+    ResilienceComparison,
+    format_resilience_report,
+    run_resilience_study,
+)
 from repro.experiments.straggler_study import (
     StragglerArm,
     StragglerComparison,
@@ -72,10 +79,13 @@ __all__ = [
     "MixedFleetSummary",
     "NoiseConvergenceResult",
     "RelativeRangeDistribution",
+    "ResilienceArm",
+    "ResilienceComparison",
     "StragglerArm",
     "StragglerComparison",
     "TransferabilityResult",
     "compare_samplers",
+    "format_resilience_report",
     "format_straggler_report",
     "detection_probability_curve",
     "format_mixed_fleet_report",
@@ -88,6 +98,7 @@ __all__ = [
     "run_noise_adjuster_ablation",
     "run_noise_convergence",
     "run_outlier_detector_ablation",
+    "run_resilience_study",
     "run_straggler_study",
     "run_transferability_study",
 ]

@@ -19,10 +19,25 @@ Guarantees:
   seed and submission sequence yield identical stretches regardless of how
   many workers exist or in which order they are queried.
 
-See :mod:`repro.faults.models` for the duration models and
-:mod:`repro.faults.straggler` for detection/speculation.
+See :mod:`repro.faults.models` for the duration models,
+:mod:`repro.faults.straggler` for detection/speculation, and
+:mod:`repro.faults.crash` for fail-stop crash injection (transient mid-run
+errors, permanent node death) — the same two guarantees hold there, with
+the ``"none"`` crash model as the no-RNG equivalence anchor.
 """
 
+from repro.faults.crash import (
+    CRASH_MODELS,
+    CompositeCrashModel,
+    CrashContext,
+    CrashDecision,
+    CrashModel,
+    CrashStats,
+    NoCrashModel,
+    NodeDeathModel,
+    TransientCrashModel,
+    build_crash_model,
+)
 from repro.faults.models import (
     FAULT_MODELS,
     BrownoutModel,
@@ -41,16 +56,26 @@ from repro.faults.straggler import (
 )
 
 __all__ = [
+    "CRASH_MODELS",
     "FAULT_MODELS",
     "BrownoutModel",
+    "CompositeCrashModel",
     "CompositeFaultModel",
+    "CrashContext",
+    "CrashDecision",
+    "CrashModel",
+    "CrashStats",
     "FaultContext",
     "FaultModel",
     "InterferenceBurstModel",
     "LognormalTailModel",
+    "NoCrashModel",
+    "NodeDeathModel",
     "NoFaultModel",
     "SpeculationPolicy",
     "SpeculationStats",
     "StragglerDetector",
+    "TransientCrashModel",
+    "build_crash_model",
     "build_fault_model",
 ]

@@ -3,10 +3,14 @@
 Every gate/benchmark script must fail loudly: ``set -euo pipefail`` so a
 failing pytest invocation (or an unset variable) can never report success,
 and the executable bit so ``make`` targets and CI can run them directly.
+The same fail-loud discipline is asserted for the durable event log: a
+damaged study log must refuse to load, naming the offending line.
 """
 
 import os
 import stat
+
+import pytest
 
 TOOLS_DIR = os.path.join(os.path.dirname(__file__), "..", "tools")
 
@@ -40,3 +44,37 @@ def test_every_script_is_executable_with_a_shebang():
         with open(path) as fh:
             first = fh.readline()
         assert first.startswith("#!"), f"{os.path.basename(path)} lacks a shebang"
+
+
+def test_event_log_replay_fails_loudly_on_damage(tmp_path):
+    """A truncated or corrupted study log must refuse to load with a
+    line-numbered error — silently replaying a partial study would poison
+    every conclusion drawn from it."""
+    from repro.core import EventLog, EventLogError
+
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path)
+    for _ in range(3):
+        log.append("submit", worker="w-0")
+    log.close()
+
+    # Truncation: chop the last record mid-JSON.
+    truncated = str(tmp_path / "truncated.jsonl")
+    content = open(path, encoding="utf-8").read()
+    with open(truncated, "w", encoding="utf-8") as fh:
+        fh.write(content[:-20] + "\n")
+    with pytest.raises(EventLogError) as excinfo:
+        EventLog.replay(truncated)
+    assert excinfo.value.line == 4
+    assert ":4:" in str(excinfo.value)
+
+    # Corruption: mangle a middle record.
+    corrupted = str(tmp_path / "corrupted.jsonl")
+    lines = content.splitlines()
+    lines[1] = lines[1][:-4] + "\x00"
+    with open(corrupted, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    with pytest.raises(EventLogError) as excinfo:
+        EventLog.replay(corrupted)
+    assert excinfo.value.line == 2
+    assert ":2:" in str(excinfo.value)

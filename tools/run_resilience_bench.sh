@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Crash-fault resilience microbenchmark smoke run: prints per-seed
+# fault-free vs crash-with-recovery makespans under the transient crash
+# regime, asserts the geomean makespan retention stays >= 0.8 at equal
+# accepted sample count and that write-ahead logging plus periodic
+# checkpointing cost < 5 % of wall-clock, and writes BENCH_RESILIENCE.json
+# (retentions, recovery counters, durability overhead) for CI archiving.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest benchmarks/test_bench_resilience.py -q -s "$@"
