@@ -3,6 +3,8 @@
 #   make test             tier-1 gate (full test + benchmark suite, -x -q)
 #   make test-fast        unit tests only (skips the figure benchmarks)
 #   make lint             ruff check over src, tests and benchmarks
+#   make lint-det         detlint determinism/reproducibility static analysis
+#   make typecheck        mypy over the strictly-typed packages (core, faults)
 #   make bench-surrogate  surrogate-inference throughput microbenchmark
 #   make bench-forest-fit vectorized forest-training + ask() latency microbenchmark
 #   make bench-async      async batched execution makespan microbenchmark
@@ -11,7 +13,7 @@
 #   make bench-resilience crash recovery + durable checkpointing microbenchmark
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience
+.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience
 
 test:
 	./tools/run_tier1.sh
@@ -21,6 +23,12 @@ test-fast:
 
 lint:
 	ruff check src tests benchmarks
+
+lint-det:
+	./tools/run_detlint.sh
+
+typecheck:
+	./tools/run_typecheck.sh
 
 bench-surrogate:
 	./tools/run_surrogate_bench.sh

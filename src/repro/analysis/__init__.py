@@ -1,0 +1,46 @@
+"""detlint: determinism & reproducibility static analysis for the repro stack.
+
+Every guarantee this reproduction makes — bit-for-bit ``fit``/``fit_pointer``
+equivalence, lockstep ``batch_size=1`` trajectories, structurally inert
+``"none"`` fault/crash models, resume equivalence after a kill — rests on a
+determinism contract: seeded domain-tagged RNG streams, fixed draw counts,
+stable sorts, no wall-clock reads in core paths.  Runtime equivalence tests
+catch violations only *after* they corrupt a trajectory; this package checks
+the contract at review time, the way race detectors guard concurrent code
+before it ships.
+
+Usage::
+
+    python -m repro.analysis                  # scan src/, tests/, benchmarks/
+    python -m repro.analysis path/to/file.py  # scan explicit files
+    python -m repro.analysis --json out.json  # machine-readable report
+    python -m repro.analysis --list-rules     # the rule table
+
+Suppressions are per-line pragmas that *must* carry a justification::
+
+    t0 = time.time()  # detlint: allow[DET002] -- provenance stamp only
+
+An unjustified pragma does not suppress anything and is itself reported as
+``DET000``.  See :mod:`repro.analysis.rules` for the rule set and the README
+section "Static analysis: the determinism contract" for how to add a rule.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    FileContext,
+    Report,
+    Rule,
+    check_file,
+    check_paths,
+)
+from repro.analysis.rules import RULES
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Report",
+    "Rule",
+    "RULES",
+    "check_file",
+    "check_paths",
+]

@@ -1,0 +1,85 @@
+"""CLI for detlint: ``python -m repro.analysis [paths ...]``.
+
+Exit status 0 when the tree is clean (suppressed findings do not count),
+1 when any finding survives, 2 on usage errors — the same contract ruff
+follows, so ``make lint-det`` slots between ``make lint`` and tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.framework import Report, check_paths
+from repro.analysis.rules import RULES
+
+#: Scanned when no explicit paths are given (and they exist under cwd).
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _rule_table() -> str:
+    lines = ["code    title", "----    -----"]
+    for rule_cls in RULES:
+        lines.append(f"{rule_cls.code}  {rule_cls.title}")
+        lines.append(f"        {rule_cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="detlint: determinism & reproducibility static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write a machine-readable JSON report to PATH",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_table())
+        return 0
+
+    paths: List[str] = list(args.paths)
+    if not paths:
+        paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print(
+                "detlint: no paths given and none of "
+                f"{'/'.join(DEFAULT_PATHS)} exist under the current directory",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"detlint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report: Report = check_paths(paths)
+    for finding in report.findings:
+        print(finding.render())
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n", encoding="utf-8")
+    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    print(
+        f"detlint: {status} across {report.n_files} file(s) "
+        f"({report.n_suppressed} suppressed by justified pragmas)"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,409 @@
+"""The detlint checker framework: findings, pragmas, import resolution, driver.
+
+Rules (see :mod:`repro.analysis.rules`) are small visitor classes registered
+with :func:`register`.  The driver parses each file once, walks the AST once,
+and dispatches every node to each rule that declares interest in the file via
+its :meth:`Rule.applies_to` path predicate.  Rules yield :class:`Finding`
+objects; the driver filters them through the per-line ``allow`` pragmas and
+aggregates everything into a :class:`Report` that serialises to JSON.
+
+The framework is deliberately stdlib-only (``ast`` + ``re``): the linter must
+run in a bare CI job before any heavy dependency is importable.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: Reserved code for a pragma that suppresses nothing because it carries no
+#: justification — the acceptance bar is "every suppression justified in-line".
+UNJUSTIFIED_PRAGMA_CODE = "DET000"
+
+#: Directory names never scanned when walking a tree.  The rule fixtures are
+#: *deliberate* violations exercised by the self-tests; explicitly named files
+#: bypass these excludes, so the tests still reach them.
+DEFAULT_EXCLUDED_DIRS = {
+    ".git",
+    "__pycache__",
+    ".hypothesis",
+    ".pytest_cache",
+    ".benchmarks",
+    "fixtures",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "Finding":
+        return Finding(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            code=str(data["code"]),
+            message=str(data["message"]),
+        )
+
+
+# -- pragmas -------------------------------------------------------------------
+
+#: ``# detlint: allow[DET002] -- why this line is exempt``
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*allow\[(?P<codes>[A-Z0-9*,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    line: int
+    codes: Tuple[str, ...]
+    justified: bool
+
+    def covers(self, code: str) -> bool:
+        return "*" in self.codes or code in self.codes
+
+
+def parse_pragmas(lines: Sequence[str]) -> Dict[int, Pragma]:
+    """Extract ``allow`` pragmas, keyed by 1-based line number."""
+    pragmas: Dict[int, Pragma] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        reason = match.group("reason")
+        pragmas[lineno] = Pragma(
+            line=lineno, codes=codes, justified=bool(reason and reason.strip())
+        )
+    return pragmas
+
+
+# -- import resolution ---------------------------------------------------------
+
+
+class ImportTable:
+    """Maps local names to dotted module paths for call resolution.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random import
+    default_rng`` maps ``default_rng -> numpy.random.default_rng``; ``from
+    datetime import datetime`` maps ``datetime -> datetime.datetime``.  The
+    resolver then turns ``np.random.default_rng`` call nodes into the full
+    dotted path rules match against.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain, or ``None`` if dynamic.
+
+        A bare name that was never imported resolves to itself (builtins such
+        as ``set`` and ``sorted``); an attribute chain rooted in anything but
+        a plain name (e.g. a method call result) is dynamic and unresolvable.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self._aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+
+# -- per-file context ----------------------------------------------------------
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    path: PurePosixPath
+    tree: ast.AST
+    lines: List[str]
+    imports: ImportTable
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    @property
+    def is_test_code(self) -> bool:
+        """Test modules get looser entropy rules (they *are* the seeds)."""
+        return self.basename.startswith("test_") or self.basename == "conftest.py"
+
+    @property
+    def is_benchmark_code(self) -> bool:
+        """Benchmarks legitimately read wall clocks — that is their job."""
+        return "benchmarks" in self.path.parts or self.basename.startswith("bench")
+
+    def has_part(self, *names: str) -> bool:
+        return any(name in self.path.parts for name in names)
+
+
+# -- rule base & registry ------------------------------------------------------
+
+
+class Rule:
+    """Base class for detlint rules.
+
+    Subclasses set ``code``/``title``/``rationale`` and implement any of the
+    ``visit_Call`` / ``visit_For`` / ``visit_comprehension`` / ``visit_Dict``
+    hooks.  Hooks are generators of :class:`Finding`; the driver calls them
+    for every matching node of every file the rule applies to.
+    """
+
+    code: str = "DET999"
+    title: str = "abstract"
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def visit_For(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def visit_comprehension(
+        self, node: ast.comprehension, ctx: FileContext
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def visit_Dict(self, node: ast.Dict, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, node: ast.AST, ctx: FileContext, message: str) -> Finding:
+        return Finding(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry (ordered)."""
+    if any(existing.code == rule_cls.code for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def registered_rules() -> List[Type[Rule]]:
+    return list(_REGISTRY)
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def _relative_path(path: Path) -> PurePosixPath:
+    """Repo-relative posix path when possible (stable report/pragma keys)."""
+    resolved = path.resolve()
+    try:
+        return PurePosixPath(resolved.relative_to(Path.cwd()).as_posix())
+    except ValueError:
+        return PurePosixPath(resolved.as_posix())
+
+
+def check_file(
+    path: "str | Path",
+    source: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the rule set over one file.
+
+    Returns ``(findings, n_suppressed)``.  ``source`` overrides the on-disk
+    content (used by the self-tests).  Unparsable files yield a single
+    finding on the syntax error rather than crashing the whole run.
+    """
+    file_path = Path(path)
+    if source is None:
+        source = file_path.read_text(encoding="utf-8")
+    if rules is None:
+        from repro.analysis.rules import build_rules
+
+        rules = build_rules()
+    rel = _relative_path(file_path)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(rel))
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=str(rel),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    code="DET999",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(path=rel, tree=tree, lines=lines, imports=ImportTable(tree))
+    active = [rule for rule in rules if rule.applies_to(ctx)]
+    raw: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for rule in active:
+                raw.extend(rule.visit_Call(node, ctx))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for rule in active:
+                raw.extend(rule.visit_For(node, ctx))
+        elif isinstance(node, ast.comprehension):
+            for rule in active:
+                raw.extend(rule.visit_comprehension(node, ctx))
+        elif isinstance(node, ast.Dict):
+            for rule in active:
+                raw.extend(rule.visit_Dict(node, ctx))
+
+    pragmas = parse_pragmas(lines)
+    findings: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        pragma = _pragma_for(pragmas, finding)
+        if pragma is not None and pragma.justified:
+            suppressed += 1
+            continue
+        findings.append(finding)
+    for lineno, pragma in sorted(pragmas.items()):
+        if not pragma.justified:
+            findings.append(
+                Finding(
+                    path=str(rel),
+                    line=lineno,
+                    col=0,
+                    code=UNJUSTIFIED_PRAGMA_CODE,
+                    message=(
+                        "allow-pragma without a justification — write "
+                        "'# detlint: allow[CODE] -- <reason>'; an unjustified "
+                        "pragma suppresses nothing"
+                    ),
+                )
+            )
+    return sorted(findings), suppressed
+
+
+def _pragma_for(pragmas: Dict[int, Pragma], finding: Finding) -> Optional[Pragma]:
+    """The pragma governing a finding: same line, or the line above."""
+    for lineno in (finding.line, finding.line - 1):
+        pragma = pragmas.get(lineno)
+        if pragma is not None and pragma.covers(finding.code):
+            return pragma
+    return None
+
+
+@dataclass
+class Report:
+    """Aggregated result of a detlint run; serialises losslessly to JSON."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_suppressed: int = 0
+    n_files: int = 0
+    version: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "n_files": self.n_files,
+            "n_suppressed": self.n_suppressed,
+            "n_findings": len(self.findings),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "Report":
+        data = json.loads(text)
+        return Report(
+            findings=[Finding.from_dict(f) for f in data["findings"]],
+            n_suppressed=int(data["n_suppressed"]),
+            n_files=int(data["n_files"]),
+            version=int(data["version"]),
+        )
+
+
+def iter_python_files(paths: Sequence["str | Path"]) -> Iterator[Path]:
+    """Yield the files to scan: walk directories (honouring the default
+    excludes), pass explicitly named files straight through."""
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            yield root
+            continue
+        if not root.is_dir():
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            if DEFAULT_EXCLUDED_DIRS.intersection(candidate.parts):
+                continue
+            yield candidate
+
+
+def check_paths(
+    paths: Sequence["str | Path"], rules: Optional[Sequence[Rule]] = None
+) -> Report:
+    """Run the rule set over files and directory trees; the CLI entry point."""
+    if rules is None:
+        from repro.analysis.rules import build_rules
+
+        rules = build_rules()
+    report = Report()
+    for file_path in iter_python_files(paths):
+        findings, suppressed = check_file(file_path, rules=rules)
+        report.findings.extend(findings)
+        report.n_suppressed += suppressed
+        report.n_files += 1
+    report.findings.sort()
+    return report

@@ -131,7 +131,9 @@ class TelemetrySample:
             Relative observation noise applied to every metric, modelling the
             fact that psutil counters are themselves sampled.
         """
-        rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: callers that care about varied observation
+        # noise must thread their own seeded stream (production paths all do).
+        rng = rng if rng is not None else np.random.default_rng(0)
 
         def noisy(value: float) -> float:
             return float(max(value * (1.0 + rng.normal(0.0, jitter)), 0.0))

@@ -19,6 +19,10 @@ class ConfigurationSpace:
 
     def __init__(self, parameters: Optional[Iterable[Parameter]] = None, seed: Optional[int] = None) -> None:
         self._parameters: Dict[str, Parameter] = {}
+        # detlint DET001 audit: every production caller (samplers, optimizers,
+        # experiments) threads an explicit seed or passes its own Generator to
+        # sample()/neighbours(); seed=None is the documented interactive
+        # opt-in to ambient entropy, not a reproducibility path.
         self._rng = np.random.default_rng(seed)
         if parameters is not None:
             for parameter in parameters:

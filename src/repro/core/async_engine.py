@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.cluster import Cluster
 from repro.cloud.telemetry import apply_interference_signature
@@ -72,6 +72,10 @@ from repro.faults import (
     build_crash_model,
     build_fault_model,
 )
+
+if TYPE_CHECKING:  # avoid import cycles; annotations only
+    from repro.core.eventlog import EventLog
+    from repro.core.scheduler import MultiFidelityTaskScheduler
 
 
 @dataclass(frozen=True)
@@ -414,11 +418,11 @@ class AsyncExecutionEngine:
         lockstep: bool = False,
         fault_model: "FaultModel | str | None" = None,
         speculation: "SpeculationPolicy | bool | None" = None,
-        scheduler=None,
+        scheduler: Optional[MultiFidelityTaskScheduler] = None,
         used_workers_fn: Optional[Callable[[Configuration], Sequence[str]]] = None,
         crash_model: "CrashModel | str | None" = None,
         retry_policy: Optional[RetryPolicy] = None,
-        event_log=None,
+        event_log: Optional[EventLog] = None,
     ) -> None:
         self.execution = execution
         self.cluster = cluster
@@ -497,7 +501,7 @@ class AsyncExecutionEngine:
         stretches slow workers' runs along their own timelines."""
         return self.execution.duration_hours_for(vm)
 
-    def _log(self, kind: str, **fields) -> None:
+    def _log(self, kind: str, **fields: Any) -> None:
         """Mirror an engine action into the write-ahead event log, if any."""
         if self._event_log is not None:
             from repro.core.eventlog import config_digest

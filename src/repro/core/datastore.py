@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.configspace import Configuration
+
+if TYPE_CHECKING:  # annotation only; the log is attached by the tuning loop
+    from repro.core.eventlog import EventLog
 
 
 @dataclass
@@ -47,7 +50,7 @@ class Datastore:
     sample the log knows nothing about.
     """
 
-    def __init__(self, event_log=None) -> None:
+    def __init__(self, event_log: Optional[EventLog] = None) -> None:
         self._samples: List[Sample] = []
         self._by_config: Dict[Configuration, List[Sample]] = {}
         #: Optional write-ahead event log (attached by the tuning loop).

@@ -26,7 +26,10 @@ import json
 import os
 import subprocess
 from datetime import datetime, timezone
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # annotation only; configspace never imports core
+    from repro.configspace import Configuration
 
 _REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "..", "..")
@@ -58,7 +61,7 @@ def _git_sha() -> str:
     return proc.stdout.strip() or "unknown"
 
 
-def config_digest(config) -> str:
+def config_digest(config: Configuration) -> str:
     """Short stable digest identifying a configuration in log records.
 
     Hashes the sorted parameter/value mapping, so the digest is independent
@@ -112,6 +115,7 @@ class EventLog:
                 "open",
                 version=self.VERSION,
                 git_sha=_git_sha(),
+                # detlint: allow[DET002] -- provenance stamp in the header only; replay never consumes it
                 generated_at=datetime.now(timezone.utc).isoformat(
                     timespec="seconds"
                 ),
@@ -143,7 +147,7 @@ class EventLog:
                 next_seq = max(next_seq, record["seq"] + 1)
         return next_seq
 
-    def append(self, kind: str, **fields) -> Dict:
+    def append(self, kind: str, **fields: Any) -> Dict:
         """Append one event; flushed immediately so a kill loses at most the
         event being written (which replay then reports as a truncated tail).
         """
@@ -170,7 +174,7 @@ class EventLog:
         return self._seq
 
     # -- checkpoint durability across pickling --------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state["_fh"] = None
         return state

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.core.noise_adjuster import NoiseAdjuster
 from repro.core.outlier import OutlierDetector
 from repro.core.scheduler import MultiFidelityTaskScheduler
 from repro.optimizers.base import Optimizer, objective_to_cost
+
+if TYPE_CHECKING:  # annotation only
+    from repro.workloads.base import Objective
 
 
 @dataclass
@@ -84,7 +87,7 @@ class Sampler(abc.ABC):
         self._rng = np.random.default_rng(seed)
 
     @property
-    def objective(self):
+    def objective(self) -> Objective:
         return self.execution.workload.objective
 
     @abc.abstractmethod
@@ -563,7 +566,7 @@ def build_sampler(
     execution: ExecutionEngine,
     cluster: Cluster,
     seed: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> Sampler:
     """Instantiate a sampler by name (``tuna``, ``traditional``, ``naive``)."""
     name = name.lower()

@@ -23,7 +23,13 @@ from repro.core.async_engine import AsyncExecutionEngine, RetryPolicy
 from repro.core.eventlog import EventLog
 from repro.core.execution import ExecutionEngine
 from repro.core.samplers import IterationReport, Sampler
-from repro.faults import build_crash_model, build_fault_model
+from repro.faults import (
+    CrashModel,
+    FaultModel,
+    SpeculationPolicy,
+    build_crash_model,
+    build_fault_model,
+)
 from repro.ml.metrics import coefficient_of_variation, relative_range
 from repro.systems.base import SystemUnderTest
 from repro.workloads.base import Workload
@@ -234,13 +240,13 @@ class TuningLoop:
         wall_clock_hours: Optional[float] = None,
         max_samples: Optional[int] = None,
         batch_size: Optional[int] = None,
-        fault_model=None,
+        fault_model: FaultModel | str | None = None,
         fault_seed: Optional[int] = None,
-        speculation=None,
-        crash_model=None,
+        speculation: SpeculationPolicy | bool | None = None,
+        crash_model: CrashModel | str | None = None,
         crash_seed: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
-        event_log=None,
+        event_log: EventLog | str | os.PathLike | None = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         stop_after_waves: Optional[int] = None,
@@ -575,7 +581,7 @@ class TuningLoop:
         return path
 
     @classmethod
-    def resume(cls, path) -> "TuningLoop":
+    def resume(cls, path: str | os.PathLike) -> "TuningLoop":
         """Resurrect a killed study from a checkpoint (or its event log).
 
         ``path`` may point either directly at a checkpoint file or at an

@@ -70,6 +70,7 @@ def run_transferability_study(
     init_cluster = Cluster(n_workers=n_cluster_nodes, seed=seed)
     engine = ExecutionEngine(system, workload, seed=seed)
     init_configs = [system.default_configuration()] + system.knob_space.sample_batch(
+        # detlint: allow[DET003] -- frozen legacy derivation; retagging it shifts the seeded Fig. 5 trajectories
         9, rng=np.random.default_rng(seed + 1)
     )
     labels = ["default"] + [f"config {chr(ord('A') + i)}" for i in range(9)]
@@ -139,6 +140,7 @@ def relative_range_distribution(
     system = PostgreSQLSystem()
     cluster = Cluster(n_workers=n_nodes, seed=seed)
     engine = ExecutionEngine(system, workload, seed=seed)
+    # detlint: allow[DET003] -- frozen legacy derivation; retagging it shifts the seeded Fig. 8 trajectories
     rng = np.random.default_rng(seed + 1)
     ranges = []
     for _ in range(n_configs):

@@ -29,7 +29,7 @@ import abc
 import math
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -289,7 +289,7 @@ CRASH_MODELS = {
 def build_crash_model(
     spec: "CrashModel | str | None",
     seed: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> Optional[CrashModel]:
     """Instantiate a crash model by name; instances and ``None`` pass through.
 

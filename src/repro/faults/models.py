@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -325,7 +325,7 @@ FAULT_MODELS = {
 def build_fault_model(
     spec: "FaultModel | str | None",
     seed: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> Optional[FaultModel]:
     """Instantiate a fault model by name; instances and ``None`` pass through.
 

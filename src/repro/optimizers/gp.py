@@ -57,7 +57,7 @@ class GaussianProcessOptimizer(Optimizer):
 
         candidates = self.space.sample_batch(self.n_candidates, rng=self._rng)
         if configs:
-            order = np.argsort(y)
+            order = np.argsort(y, kind="stable")
             top = [configs[int(i)] for i in order[: max(1, len(order) // 10)]]
             for incumbent in top:
                 candidates.extend(self.space.neighbours(incumbent, 20, rng=self._rng, scale=0.1))

@@ -100,7 +100,7 @@ class SMACOptimizer(Optimizer):
     def _candidate_pool(self, configs: List[Configuration], y: np.ndarray) -> List[Configuration]:
         candidates = self.space.sample_batch(self.n_candidates, rng=self._rng)
         if configs and self.n_local > 0:
-            order = np.argsort(y)
+            order = np.argsort(y, kind="stable")
             top = [configs[int(i)] for i in order[: max(1, len(order) // 10)]]
             per_incumbent = max(1, self.n_local // len(top))
             for incumbent in top:

@@ -151,7 +151,9 @@ class NginxSystem(SystemUnderTest):
         collect_telemetry: bool = True,
     ) -> EvaluationResult:
         self._check_workload(workload)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: interactive calls without an rng repeat
+        # bit-for-bit; varied noise requires an explicit seeded stream.
+        rng = rng if rng is not None else np.random.default_rng(0)
 
         duration = workload.duration_hours if workload.duration_hours > 0 else 0.05
         context = vm.measure(duration, utilisation=0.85, rng=rng)

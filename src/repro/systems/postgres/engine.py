@@ -206,7 +206,9 @@ class PostgreSQLSystem(SystemUnderTest):
         collect_telemetry: bool = True,
     ) -> EvaluationResult:
         self._check_workload(workload)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: interactive calls without an rng repeat
+        # bit-for-bit; varied noise requires an explicit seeded stream.
+        rng = rng if rng is not None else np.random.default_rng(0)
         memory_mb = vm.sku.memory_gb * 1024.0
 
         duration = workload.duration_hours if workload.duration_hours > 0 else 0.05

@@ -1,0 +1,7 @@
+"""Pragma fixture: an unjustified pragma suppresses nothing (DET000)."""
+
+import time
+
+
+def provenance_stamp() -> float:
+    return time.time()  # detlint: allow[DET002]

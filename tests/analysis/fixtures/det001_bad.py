@@ -1,0 +1,22 @@
+"""DET001 bad fixture: entropy nobody seeded."""
+
+import random
+
+import numpy as np
+
+
+def ambient_stream():
+    return np.random.default_rng()
+
+
+def explicit_none_stream():
+    return np.random.default_rng(None)
+
+
+def hidden_global_state():
+    np.random.seed(42)
+    return np.random.uniform(0.0, 1.0)
+
+
+def stdlib_global_state():
+    return random.randint(0, 10)

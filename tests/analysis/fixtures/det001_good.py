@@ -1,0 +1,17 @@
+"""DET001 good fixture: every stream derives from an explicit seed."""
+
+import numpy as np
+
+
+def tagged_stream(master_seed: int) -> np.random.Generator:
+    entropy = np.random.SeedSequence([master_seed, 11])
+    return np.random.default_rng(entropy)
+
+
+def seeded_stream(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def generator_method_named_random(rng: np.random.Generator) -> float:
+    # A Generator's own .random() is seeded state, not module-level entropy.
+    return float(rng.random())

@@ -1,0 +1,10 @@
+"""DET002 bad fixture: wall-clock reads in a core path."""
+
+import time
+from datetime import datetime
+
+
+def stamp_with_host_clock():
+    started = time.time()
+    elapsed = time.perf_counter() - started
+    return datetime.now(), elapsed

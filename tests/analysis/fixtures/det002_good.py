@@ -1,0 +1,5 @@
+"""DET002 good fixture: time flows from the simulated clock only."""
+
+
+def advance(now_hours: float, duration_hours: float) -> float:
+    return now_hours + duration_hours

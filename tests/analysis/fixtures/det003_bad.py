@@ -1,0 +1,11 @@
+"""DET003 bad fixture: sibling streams derived by seed arithmetic."""
+
+import numpy as np
+
+
+def sibling_stream(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed + 1)
+
+
+def offset_entropy(seed: int) -> np.random.SeedSequence:
+    return np.random.SeedSequence(seed * 1000)

@@ -1,0 +1,16 @@
+"""DET003 good fixture: domain-tagged SeedSequence streams (stream_for idiom)."""
+
+import zlib
+
+import numpy as np
+
+
+def stream_for(master_seed: int, worker_id: str, channel: int) -> np.random.Generator:
+    entropy = np.random.SeedSequence(
+        [master_seed, zlib.crc32(worker_id.encode("utf-8")), channel]
+    )
+    return np.random.default_rng(entropy)
+
+
+def spawned_children(master_seed: int, n: int) -> list:
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(master_seed).spawn(n)]

@@ -1,0 +1,11 @@
+"""DET004 bad fixture (scoped: lives under a ``core`` path part)."""
+
+
+def drain_order(workers, queues):
+    drained = []
+    for worker in set(workers):
+        drained.append(worker)
+    for flag in {"cpu", "disk"}:
+        drained.append(flag)
+    names = [name for name in queues.keys()]
+    return drained + names

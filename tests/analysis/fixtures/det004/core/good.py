@@ -1,0 +1,11 @@
+"""DET004 good fixture: explicit, stable iteration orders."""
+
+
+def drain_order(workers, queues):
+    drained = []
+    for worker in sorted(set(workers)):
+        drained.append(worker)
+    for name in queues:  # insertion order is the contract here
+        drained.append(name)
+    first_seen = list(dict.fromkeys(workers))
+    return drained + first_seen

@@ -1,0 +1,8 @@
+"""DET004 scope fixture: identical set iteration, but outside core/ml."""
+
+
+def drain_order(workers):
+    drained = []
+    for worker in set(workers):
+        drained.append(worker)
+    return drained

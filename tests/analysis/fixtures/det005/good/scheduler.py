@@ -1,0 +1,10 @@
+"""DET005 good fixture: stable sorts (and Python's always-stable sorted)."""
+
+import numpy as np
+
+
+def rank(values, items):
+    order = np.argsort(values, kind="stable")
+    merged = np.sort(values, kind="mergesort")
+    tied = sorted(items, key=len)  # Python sort is stable by definition
+    return order, merged, tied

@@ -1,0 +1,9 @@
+"""DET005 bad fixture: unstable sorts in a tie-break-sensitive module name."""
+
+import numpy as np
+
+
+def rank(values):
+    order = np.argsort(values)
+    best = values.argsort()[:3]
+    return order, best

@@ -1,0 +1,7 @@
+"""DET005 scope fixture: unstable argsort, but not a tie-break-sensitive module."""
+
+import numpy as np
+
+
+def rank(values):
+    return np.argsort(values)

@@ -1,0 +1,8 @@
+"""DET006 bad fixture: forging the event-log envelope outside eventlog.py."""
+
+
+def forge(log):
+    log.append("submit", seq=3)
+    log.append("complete", kind="complete", worker="w-0")
+    record = {"seq": 0, "kind": "submit", "worker": "w-0"}
+    return record

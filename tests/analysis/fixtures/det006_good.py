@@ -1,0 +1,8 @@
+"""DET006 good fixture: the envelope stays EventLog.append's business."""
+
+
+def record_actions(log, items):
+    log.append("submit", worker="w-0")
+    for item in items:
+        items_kind = {"worker": item}  # plain payload dict, no envelope keys
+        log.append("complete", **items_kind)

@@ -212,6 +212,7 @@ class TestEventLogStrictness:
     def test_missing_header_rejected(self, tmp_path):
         path = str(tmp_path / "headless.jsonl")
         with open(path, "w", encoding="utf-8") as fh:
+            # detlint: allow[DET006] -- forges a headerless envelope on purpose to prove replay rejects it
             fh.write(json.dumps({"seq": 0, "kind": "submit"}) + "\n")
         with pytest.raises(EventLogError, match="header"):
             EventLog.replay(path)
@@ -219,6 +220,7 @@ class TestEventLogStrictness:
     def test_unknown_version_rejected(self, tmp_path):
         path = str(tmp_path / "future.jsonl")
         with open(path, "w", encoding="utf-8") as fh:
+            # detlint: allow[DET006] -- forges a future-version envelope on purpose to prove replay rejects it
             fh.write(json.dumps({"seq": 0, "kind": "open", "version": 99}) + "\n")
         with pytest.raises(EventLogError, match="version"):
             EventLog.replay(path)
@@ -232,7 +234,7 @@ class TestEventLogStrictness:
     def test_envelope_fields_are_reserved(self, tmp_path):
         log = EventLog(str(tmp_path / "e.jsonl"))
         with pytest.raises(ValueError, match="envelope"):
-            log.append("submit", seq=42)
+            log.append("submit", seq=42)  # detlint: allow[DET006] -- exercises the reserved-key guard itself
 
     def test_reopen_resyncs_from_the_file_tail(self, tmp_path):
         path = str(tmp_path / "e.jsonl")

@@ -8,11 +8,13 @@ damaged study log must refuse to load, naming the offending line.
 """
 
 import os
+import re
 import stat
 
 import pytest
 
 TOOLS_DIR = os.path.join(os.path.dirname(__file__), "..", "tools")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..")
 
 
 def _scripts():
@@ -44,6 +46,45 @@ def test_every_script_is_executable_with_a_shebang():
         with open(path) as fh:
             first = fh.readline()
         assert first.startswith("#!"), f"{os.path.basename(path)} lacks a shebang"
+
+
+def test_static_analysis_gates_are_wired_into_make_and_ci():
+    """`make lint-det` / `make typecheck` exist, their scripts exist, and CI
+    runs both before the tier-1 gate — a linter nobody runs guards nothing."""
+    with open(os.path.join(REPO_ROOT, "Makefile")) as fh:
+        makefile = fh.read()
+    assert re.search(r"^lint-det:", makefile, re.MULTILINE)
+    assert re.search(r"^typecheck:", makefile, re.MULTILINE)
+    for script in ("run_detlint.sh", "run_typecheck.sh"):
+        assert os.path.exists(os.path.join(TOOLS_DIR, script)), script
+
+    with open(os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")) as fh:
+        ci = fh.read()
+    assert "make lint-det" in ci, "CI must run the determinism lint"
+    assert "make typecheck" in ci, "CI must run the typing gate"
+    # Both gates must come before the tier-1 gate in the test job (the
+    # run step, not the comment that merely mentions the script).
+    tier1 = ci.index("run: ./tools/run_tier1.sh")
+    assert ci.index("make lint-det") < tier1
+    assert ci.index("make typecheck") < tier1
+
+
+def test_readme_rule_table_matches_the_registry():
+    """The README's detlint rule table stays in sync with the registry:
+    every registered code documented, no stale rows for removed rules."""
+    from repro.analysis import RULES
+
+    with open(os.path.join(REPO_ROOT, "README.md")) as fh:
+        readme = fh.read()
+    table_rows = re.findall(r"^\| `(DET\d{3})` \|", readme, re.MULTILINE)
+    registered = sorted(rule.code for rule in RULES)
+    assert sorted(table_rows) == registered, (
+        "README rule table out of sync with repro.analysis.RULES: "
+        f"table={sorted(table_rows)} registry={registered}"
+    )
+    # The bookkeeping codes are documented too (pragma audit + parse error).
+    assert "DET000" in readme
+    assert "DET999" in readme
 
 
 def test_event_log_replay_fails_loudly_on_damage(tmp_path):

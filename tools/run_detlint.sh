@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# detlint: determinism & reproducibility static analysis over the whole stack.
+#
+# Scans src/, tests/ and benchmarks/ for violations of the determinism
+# contract (unseeded entropy, wall-clock reads in core paths, untagged RNG
+# streams, hash-ordered iteration, unstable sorts, event-log envelope
+# misuse) and writes the machine-readable report to DETLINT.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.analysis src tests benchmarks --json DETLINT.json

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Static type check (mypy) over the strictly-typed packages.
+#
+# pyproject.toml turns on disallow_untyped_defs for repro.core and
+# repro.faults — the packages whose determinism contract detlint guards.
+# mypy is an optional tool: when it is not installed (the pinned runtime
+# image does not bake it in), the gate skips loudly instead of failing,
+# and CI installs mypy so the check always runs there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+if ! python -c "import mypy" >/dev/null 2>&1; then
+  echo "typecheck: mypy is not installed; skipping (CI installs it; locally: pip install mypy)"
+  exit 0
+fi
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m mypy --config-file pyproject.toml src/repro/core src/repro/faults
