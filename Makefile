@@ -11,9 +11,11 @@
 #   make bench-hetero     heterogeneous-fleet placement microbenchmark
 #   make bench-straggler  speculative re-execution under injected stragglers
 #   make bench-resilience crash recovery + durable checkpointing microbenchmark
+#   make bench-eventloop  event-loop scale microbenchmark (10k workers / 1M events)
+#   make bench-compare    diff fresh BENCH_*.json against benchmarks/baselines
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience
+.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience bench-eventloop bench-compare
 
 test:
 	./tools/run_tier1.sh
@@ -47,6 +49,12 @@ bench-straggler:
 
 bench-resilience:
 	./tools/run_resilience_bench.sh
+
+bench-eventloop:
+	./tools/run_eventloop_bench.sh
+
+bench-compare:
+	python tools/bench_compare.py
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q

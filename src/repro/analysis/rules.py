@@ -123,6 +123,8 @@ _TIEBREAK_SENSITIVE_BASENAMES = frozenset(
         "forest.py",
         "scheduler.py",
         "async_engine.py",
+        "worker_index.py",
+        "loop_reference.py",
         "gp.py",
         "smac.py",
         "base.py",

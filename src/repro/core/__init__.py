@@ -16,7 +16,11 @@ design section:
 * :mod:`repro.core.async_engine` — discrete-event cluster simulation for
   asynchronous batched execution: per-worker timelines, makespan accounting,
   fault-model duration stretch and speculative re-execution of stragglers
-  (the models and policies live in :mod:`repro.faults`).
+  (the models and policies live in :mod:`repro.faults`).  Scales to
+  10k-worker fleets via :mod:`repro.core.worker_index` (indexed idle/claim
+  structures) and :mod:`repro.core.telemetry_slots` (bounded telemetry);
+  :mod:`repro.core.loop_reference` retains the linear-scan loop the indexed
+  one is equivalence-tested and benchmarked against.
 * :mod:`repro.core.samplers` — the full TUNA pipeline plus the baselines it
   is compared against (traditional single-node sampling and naive
   distributed sampling, §6).
@@ -35,6 +39,7 @@ from repro.core.async_engine import (
 from repro.core.datastore import Datastore, Sample
 from repro.core.eventlog import EventLog, EventLogError
 from repro.core.execution import ExecutionEngine
+from repro.core.loop_reference import ScanEventLoop
 from repro.core.multi_fidelity import SuccessiveHalvingSchedule
 from repro.core.noise_adjuster import NoiseAdjuster
 from repro.core.outlier import OutlierDetector
@@ -47,6 +52,7 @@ from repro.core.samplers import (
     build_sampler,
 )
 from repro.core.scheduler import MultiFidelityTaskScheduler
+from repro.core.telemetry_slots import LoopTelemetry, RingBuffer, SpillSummary
 from repro.core.tuner import (
     DeploymentResult,
     StudyInterrupted,
@@ -54,6 +60,7 @@ from repro.core.tuner import (
     TuningResult,
     deploy_configuration,
 )
+from repro.core.worker_index import WorkerIndex
 
 __all__ = [
     "AggregationPolicy",
@@ -66,7 +73,11 @@ __all__ = [
     "build_sampler",
     "DeploymentResult",
     "ExecutionEngine",
+    "LoopTelemetry",
     "RetryPolicy",
+    "RingBuffer",
+    "ScanEventLoop",
+    "SpillSummary",
     "StudyInterrupted",
     "MultiFidelityTaskScheduler",
     "NaiveDistributedSampler",
@@ -81,6 +92,7 @@ __all__ = [
     "TuningResult",
     "WorkItem",
     "WorkRequest",
+    "WorkerIndex",
     "aggregate",
     "deploy_configuration",
 ]

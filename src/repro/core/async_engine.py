@@ -46,13 +46,38 @@ backoff, and a slot that exhausts its retry budget surfaces as a
 driver and optimizer always see exactly one result per slot.  The
 ``"none"`` crash model (or no model, or no retry policy) is structurally
 inert, exactly like the duration models.
+
+Scale: the loop's bookkeeping is *indexed*, not scanned.  Per-worker clocks
+live in a NumPy array behind :class:`~repro.core.worker_index.WorkerIndex`,
+idle-worker lookup and placement ranking are O(log n) heap queries (a
+release calendar plus sorted idle-sets per (region, SKU) group) instead of
+linear scans over ``cluster.workers``, and per-event telemetry is slotted
+into ring buffers and spill summaries
+(:class:`~repro.core.telemetry_slots.LoopTelemetry`) so memory stays bounded
+on million-sample runs.  The indexed structures reproduce the scans' exact
+tie-break order (stable ordering by worker index, DET005); the pre-refactor
+scan loop survives as :class:`~repro.core.loop_reference.ScanEventLoop` for
+the equivalence property tests and the ``make bench-eventloop`` baseline.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.cloud.cluster import Cluster
 from repro.cloud.telemetry import apply_interference_signature
@@ -60,6 +85,8 @@ from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
 from repro.core.datastore import Sample
 from repro.core.execution import ExecutionEngine
+from repro.core.telemetry_slots import LoopTelemetry
+from repro.core.worker_index import WorkerIndex
 from repro.faults import (
     CrashContext,
     CrashModel,
@@ -176,6 +203,13 @@ class ClusterEventLoop:
     first-finish-wins losers): a cancelled item never pops as a completion,
     and its worker is released back to ``max(start, now)`` when it was the
     last entry on that worker's queue.
+
+    Worker state is held in a :class:`~repro.core.worker_index.WorkerIndex`
+    (NumPy clock array + release calendar + per-(region, SKU) idle heaps),
+    so idle/placement queries are O(log n) in the fleet size while
+    reproducing the legacy linear scans' tie-break order exactly.  Event
+    telemetry is slotted (:class:`~repro.core.telemetry_slots.LoopTelemetry`)
+    so introspection stays bounded on million-sample runs.
     """
 
     def __init__(
@@ -184,12 +218,14 @@ class ClusterEventLoop:
         lockstep: bool = False,
         fault_model: "FaultModel | str | None" = None,
         crash_model: "CrashModel | str | None" = None,
+        telemetry_window: int = 4096,
     ) -> None:
         self.cluster = cluster
         self.lockstep = lockstep
         self.fault_model = build_fault_model(fault_model)
         self.crash_model = build_crash_model(crash_model)
-        self._free_at: Dict[str, float] = {vm.vm_id: 0.0 for vm in cluster.workers}
+        #: Indexed worker state: array-backed clocks, idle heaps, calendar.
+        self._workers = WorkerIndex(cluster)
         self._events: List[Tuple[float, int, WorkItem]] = []
         self._sequence = 0
         self._n_cancelled = 0
@@ -201,6 +237,13 @@ class ClusterEventLoop:
         self.now = 0.0
         #: Largest finish time processed so far — the run's wall-clock.
         self.makespan = 0.0
+        #: Bounded per-event counters + recent-completion ring.
+        self.telemetry = LoopTelemetry(telemetry_window)
+
+    @property
+    def worker_index(self) -> WorkerIndex:
+        """The loop's indexed worker state (shared with the engine)."""
+        return self._workers
 
     # -- submit ---------------------------------------------------------------
     def submit(
@@ -223,14 +266,15 @@ class ClusterEventLoop:
         """
         if duration_hours <= 0:
             raise ValueError("duration_hours must be positive")
-        if vm.vm_id not in self._free_at:
+        if not self._workers.has_worker(vm.vm_id):
             raise KeyError(f"worker {vm.vm_id!r} is not part of this cluster")
+        worker_idx = self._workers.index_of(vm.vm_id)
         if self.lockstep:
             # Legacy sequential semantics: every request starts at the global
             # clock; there is never more than one request in flight.
             start = self.now
         else:
-            start = max(self._free_at[vm.vm_id], self.now, not_before)
+            start = max(self._workers.free_at_of(worker_idx), self.now, not_before)
         stretch = 1.0
         if self.fault_model is not None and not self.fault_model.is_null:
             context = FaultContext(
@@ -238,7 +282,7 @@ class ClusterEventLoop:
                 start_hours=start,
                 duration_hours=duration_hours,
                 concurrent_items=self.n_in_flight,
-                n_workers=len(self._free_at),
+                n_workers=self._workers.n_workers,
                 speculative=speculative,
             )
             stretch = max(float(self.fault_model.stretch(context)), 0.05)
@@ -286,9 +330,11 @@ class ClusterEventLoop:
                 item.finish_hours = fail_at
                 if decision.worker_dead:
                     self._dead[vm.vm_id] = fail_at
-        self._free_at[vm.vm_id] = finish
+                    self._workers.kill(worker_idx)
+        self._workers.set_free_at(worker_idx, finish)
         heapq.heappush(self._events, (finish, self._sequence, item))
         self._sequence += 1
+        self.telemetry.record_submit()
         return item
 
     # -- introspection --------------------------------------------------------
@@ -297,15 +343,40 @@ class ClusterEventLoop:
         return len(self._events) - self._n_cancelled
 
     def worker_free_at(self, vm_id: str) -> float:
-        return self._free_at[vm_id]
+        return self._workers.free_at_of(self._workers.index_of(vm_id))
 
     def idle_workers(self) -> List[VirtualMachine]:
-        """Live workers whose queue has drained at the current simulated time."""
-        return [
-            vm
-            for vm in self.cluster.workers
-            if self._free_at[vm.vm_id] <= self.now and vm.vm_id not in self._dead
-        ]
+        """Live workers whose queue has drained at the current simulated time.
+
+        One vectorized mask query over the worker index; the result is in
+        cluster order, exactly like the legacy linear scan.
+        """
+        workers = self._workers
+        return [workers.vm(int(idx)) for idx in workers.idle_indices(self.now)]
+
+    def first_idle_worker(self) -> Optional[VirtualMachine]:
+        """First idle live worker in cluster order (O(log n) heap peek)."""
+        idx = self._workers.first_idle(self.now)
+        return None if idx is None else self._workers.vm(idx)
+
+    def fastest_idle_worker(
+        self, excluded_ids: Iterable[str] = ()
+    ) -> Optional[VirtualMachine]:
+        """Fastest idle live worker not in ``excluded_ids``; ties break on
+        cluster index — the speculative-placement ranking, via the
+        per-(region, SKU) idle heaps instead of a fleet scan."""
+        idx = self._workers.fastest_idle(self.now, excluded_ids)
+        return None if idx is None else self._workers.vm(idx)
+
+    def best_retry_worker(
+        self, excluded_ids: Iterable[str] = ()
+    ) -> Optional[VirtualMachine]:
+        """Live worker minimising ``(earliest start, -speed, index)`` — the
+        retry-placement ranking, vectorized over the clock array.  May pick
+        a busy worker: a lost sample must be recovered even on a saturated
+        cluster."""
+        idx = self._workers.best_queued(self.now, excluded_ids)
+        return None if idx is None else self._workers.vm(idx)
 
     def is_dead(self, vm_id: str) -> bool:
         return vm_id in self._dead
@@ -343,11 +414,12 @@ class ClusterEventLoop:
             return
         item.cancelled = True
         self._n_cancelled += 1
-        vm_id = item.vm.vm_id
-        if self._free_at[vm_id] == item.finish_hours:
-            self._free_at[vm_id] = max(
-                item.start_hours, min(self.now, item.finish_hours)
+        worker_idx = self._workers.index_of(item.vm.vm_id)
+        if self._workers.free_at_of(worker_idx) == item.finish_hours:
+            self._workers.set_free_at(
+                worker_idx, max(item.start_hours, min(self.now, item.finish_hours))
             )
+        self.telemetry.record_cancel()
 
     def _purge_cancelled_heads(self) -> None:
         """Drop cancelled items sitting at the top of the event heap."""
@@ -386,6 +458,10 @@ class ClusterEventLoop:
         if not item.failed:
             self.makespan = max(self.makespan, finish)
         item.done = True
+        if item.failed:
+            self.telemetry.record_fail()
+        else:
+            self.telemetry.record_complete(finish, finish - item.start_hours)
         return item
 
 
@@ -423,7 +499,10 @@ class AsyncExecutionEngine:
         crash_model: "CrashModel | str | None" = None,
         retry_policy: Optional[RetryPolicy] = None,
         event_log: Optional[EventLog] = None,
+        config_exclusion_capacity: int = 65536,
     ) -> None:
+        if config_exclusion_capacity < 1:
+            raise ValueError("config_exclusion_capacity must be >= 1")
         self.execution = execution
         self.cluster = cluster
         self.lockstep = lockstep
@@ -464,9 +543,11 @@ class AsyncExecutionEngine:
         self._event_log = event_log
         # Simulated time 0 corresponds to each worker's clock at engine
         # construction; used to keep VM-local clocks on their own timelines.
-        self._clock_origin: Dict[str, float] = {
-            vm.vm_id: vm.clock_hours for vm in cluster.workers
-        }
+        # Array-backed (cluster order) so finalize's fleet-wide clock
+        # synchronisation is a vectorized op instead of a Python loop.
+        self._clock_origin: np.ndarray = np.array(
+            [vm.clock_hours for vm in cluster.workers], dtype=np.float64
+        )
         self._remaining: Dict[int, int] = {}
         self._samples: Dict[int, List[Sample]] = {}
         self._request_ids: Dict[int, WorkRequest] = {}
@@ -478,7 +559,16 @@ class AsyncExecutionEngine:
         self._clones_of: Dict[int, List[int]] = {}  # original seq -> live clone seqs
         self._n_clones: Dict[int, int] = {}  # original seq -> clones launched
         self._flagged: Set[int] = set()  # originals already counted as stragglers
+        # Per-config worker exclusions (speculation/retry placement must not
+        # reuse a node the configuration already touched).  Bounded: once the
+        # map exceeds ``config_exclusion_capacity`` entries, the oldest
+        # configs with no open requests are evicted (their landed workers
+        # remain visible through ``used_workers_fn``), so memory stays
+        # independent of run length on million-sample runs.
         self._config_workers: Dict[Configuration, Set[str]] = {}
+        self._config_refs: Dict[Configuration, int] = {}  # open requests per config
+        self._exclusion_capacity = config_exclusion_capacity
+        self.n_evicted_exclusions = 0
         # Crash-recovery bookkeeping (keyed by item sequence).
         self._attempts: Dict[int, int] = {}  # retried item seq -> retries so far
         self._dead_seen: Set[str] = set()  # node deaths already observed
@@ -524,6 +614,8 @@ class AsyncExecutionEngine:
         self._remaining[request_id] = len(request.vms)
         self._samples[request_id] = []
         assigned = self._config_workers.setdefault(request.config, set())
+        self._config_refs[request.config] = self._config_refs.get(request.config, 0) + 1
+        self._evict_exclusions()
         items = []
         for vm in request.vms:
             item = self.loop.submit(request, vm, self.duration_for(vm))
@@ -542,6 +634,26 @@ class AsyncExecutionEngine:
             )
         self.n_submitted_requests += 1
         return items
+
+    def _evict_exclusions(self) -> None:
+        """Bound the per-config exclusion map (oldest quiescent configs go).
+
+        Only configs with no open requests are evictable — an open request's
+        exclusions must stay exact.  A re-encountered evicted config falls
+        back to ``used_workers_fn`` (the datastore's landed workers), which
+        covers every worker that produced a sample; only cancelled or
+        mid-chain-failed workers of long-closed requests are forgotten.
+        """
+        while len(self._config_workers) > self._exclusion_capacity:
+            victim: Optional[Configuration] = None
+            for config in self._config_workers:  # insertion = oldest-first order
+                if self._config_refs.get(config, 0) == 0:
+                    victim = config
+                    break
+            if victim is None:
+                return  # every tracked config still has an open request
+            del self._config_workers[victim]
+            self.n_evicted_exclusions += 1
 
     @property
     def n_in_flight_items(self) -> int:
@@ -569,7 +681,8 @@ class AsyncExecutionEngine:
             # timeline.  ``measure`` itself advances the clock through the
             # workload, and lockstep mode leaves all advancement to the
             # driver's uniform ``cluster.advance`` instead.
-            target = self._clock_origin[vm.vm_id] + item.start_hours
+            worker_idx = self.loop.worker_index.index_of(vm.vm_id)
+            target = float(self._clock_origin[worker_idx]) + item.start_hours
             gap = target - vm.clock_hours
             if gap > 0:
                 vm.advance(gap)
@@ -637,6 +750,7 @@ class AsyncExecutionEngine:
                     self._scheduler.release([original.vm.vm_id])
             self._attempts.pop(original_seq, None)
             self._failed_original.pop(original_seq, None)
+            self._forget_slot(original_seq)
             self.stats.n_duplicate_wins += 1
             if self._scheduler is not None:
                 self._scheduler.release([item.vm.vm_id])
@@ -644,6 +758,7 @@ class AsyncExecutionEngine:
             # The original finished first after all: cancel its duplicates.
             self._cancel_clones_of(item.sequence)
             self._attempts.pop(item.sequence, None)
+            self._forget_slot(item.sequence)
             if item.retried and self._scheduler is not None:
                 self._scheduler.release([item.vm.vm_id])
         sample = self._evaluate(item)
@@ -677,6 +792,11 @@ class AsyncExecutionEngine:
         request = self._request_ids.pop(request_id)
         samples = self._samples.pop(request_id)
         del self._remaining[request_id]
+        refs = self._config_refs.get(request.config, 0) - 1
+        if refs > 0:
+            self._config_refs[request.config] = refs
+        else:
+            self._config_refs.pop(request.config, None)
         self.n_completed_requests += 1
         return request, samples
 
@@ -736,6 +856,7 @@ class AsyncExecutionEngine:
                 original_seq
             ):
                 attempts = self._failed_original.pop(original_seq)
+                self._forget_slot(original_seq)
                 return self._retry_or_exhaust(request_id, item, attempts)
             return None
         request_id = self._request_id_of.pop(item.sequence)
@@ -763,6 +884,7 @@ class AsyncExecutionEngine:
         on a lost one.
         """
         request = self._request_ids[request_id]
+        self._forget_slot(failed_item.sequence)
         policy = self.retry_policy
         if policy is not None and attempts < policy.max_retries:
             vm = self._pick_retry_worker(request.config)
@@ -811,23 +933,7 @@ class AsyncExecutionEngine:
         excluded = set(self._config_workers.get(config, ()))
         if self._used_workers_fn is not None:
             excluded.update(self._used_workers_fn(config))
-        candidates = [
-            vm
-            for vm in self.cluster.workers
-            if vm.vm_id not in excluded and not self.loop.is_dead(vm.vm_id)
-        ]
-        if not candidates:
-            return None
-        order = {vm.vm_id: i for i, vm in enumerate(self.cluster.workers)}
-        now = self.loop.now
-        return min(
-            candidates,
-            key=lambda vm: (
-                max(self.loop.worker_free_at(vm.vm_id), now),
-                -vm.speed_factor,
-                order[vm.vm_id],
-            ),
-        )
+        return self.loop.best_retry_worker(excluded)
 
     # -- speculative re-execution ---------------------------------------------
     def _cancel_clones_of(self, original_seq: int, keep: Optional[int] = None) -> None:
@@ -847,6 +953,17 @@ class AsyncExecutionEngine:
             if self._scheduler is not None:
                 self._scheduler.release([clone.vm.vm_id])
             self.stats.n_duplicate_losses += 1
+
+    def _forget_slot(self, sequence: int) -> None:
+        """Drop per-slot speculation bookkeeping once the slot is decided.
+
+        ``_flagged`` and ``_n_clones`` are keyed by item sequence, which
+        grows with the number of samples; forgetting resolved slots keeps
+        them bounded by the in-flight set on million-sample runs.  Sequences
+        are never reused, so this is observation-free.
+        """
+        self._flagged.discard(sequence)
+        self._n_clones.pop(sequence, None)
 
     def _cancel_item(self, item: WorkItem) -> None:
         """Cancel a pending item and drop its request bookkeeping.
@@ -974,20 +1091,24 @@ class AsyncExecutionEngine:
             self._submit_clone(item, clone_vm)
 
     def _pick_speculative_worker(self, item: WorkItem) -> Optional[VirtualMachine]:
-        """Fastest idle worker the item's configuration has never touched."""
+        """Fastest idle worker the item's configuration has never touched.
+
+        With a task scheduler wired in, its (identically-ordered)
+        ``rank_speculative`` keeps the pick pluggable; otherwise the loop's
+        per-group idle heaps answer it in O(log n) without a fleet scan.
+        """
         config = item.request.config
         excluded = set(self._config_workers.get(config, ()))
         if self._used_workers_fn is not None:
             excluded.update(self._used_workers_fn(config))
-        candidates = [
-            vm for vm in self.loop.idle_workers() if vm.vm_id not in excluded
-        ]
-        if not candidates:
-            return None
         if self._scheduler is not None:
+            candidates = [
+                vm for vm in self.loop.idle_workers() if vm.vm_id not in excluded
+            ]
+            if not candidates:
+                return None
             return self._scheduler.rank_speculative(candidates)[0]
-        order = {vm.vm_id: i for i, vm in enumerate(self.cluster.workers)}
-        return min(candidates, key=lambda vm: (-vm.speed_factor, order[vm.vm_id]))
+        return self.loop.fastest_idle_worker(excluded)
 
     def _submit_clone(self, item: WorkItem, vm: VirtualMachine) -> None:
         """Launch the speculative duplicate of a straggling item."""
@@ -1046,10 +1167,18 @@ class AsyncExecutionEngine:
             raise RuntimeError("cannot finalize with work still in flight")
         makespan = self.loop.makespan
         if not self.lockstep:
-            for vm in self.cluster.workers:
-                target = self._clock_origin[vm.vm_id] + makespan
-                gap = target - vm.clock_hours
-                if gap > 0:
-                    vm.advance(gap)
+            # Vectorized drain: one gather of the fleet's clocks, one array
+            # of gaps, then per-VM advancement only where a gap exists (the
+            # VM objects own burst-credit state, so the final touch is
+            # per-object by design).
+            workers = self.cluster.workers
+            clocks = np.fromiter(
+                (vm.clock_hours for vm in workers),
+                dtype=np.float64,
+                count=len(workers),
+            )
+            gaps = self._clock_origin + makespan - clocks
+            for worker_idx in np.nonzero(gaps > 0)[0]:
+                workers[worker_idx].advance(float(gaps[worker_idx]))
             self.cluster.advance_clock(makespan)
         return makespan

@@ -57,6 +57,7 @@ class MultiFidelityTaskScheduler:
         # are deprioritised by :meth:`assign` so new samples land on idle
         # nodes first and the cluster stays uniformly busy.
         self._reserved: Dict[str, int] = {vm.vm_id: 0 for vm in cluster.workers}
+        self._n_reserved_total = 0  # running sum, so n_reserved() is O(1)
         # Static per-worker facts consumed by the placement ranking.
         self._speed: Dict[str, float] = {
             vm.vm_id: vm.speed_factor for vm in cluster.workers
@@ -105,6 +106,7 @@ class MultiFidelityTaskScheduler:
             if worker_id not in self._reserved:
                 raise KeyError(f"unknown worker {worker_id!r}")
             self._reserved[worker_id] += 1
+            self._n_reserved_total += 1
 
     def release(self, worker_ids: Sequence[str]) -> None:
         """Release reservations taken out by :meth:`reserve`."""
@@ -114,10 +116,11 @@ class MultiFidelityTaskScheduler:
             if self._reserved[worker_id] <= 0:
                 raise RuntimeError(f"worker {worker_id!r} has no reservation to release")
             self._reserved[worker_id] -= 1
+            self._n_reserved_total -= 1
 
     def n_reserved(self) -> int:
-        """Total in-flight sample reservations across the cluster."""
-        return sum(self._reserved.values())
+        """Total in-flight sample reservations across the cluster (O(1))."""
+        return self._n_reserved_total
 
     def eligible_workers(
         self, config: Configuration, already_used: Sequence[str]

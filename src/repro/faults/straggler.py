@@ -19,9 +19,7 @@ duplicate on an idle worker.  The execution engine owns the mechanics
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -38,6 +36,12 @@ class SpeculationPolicy:
     min_history: int = 5
     #: Duplicates allowed per work item (first-finish-wins per pair).
     max_clones_per_item: int = 1
+    #: Completed durations retained for the quantile (ring-buffered): the
+    #: threshold tracks the most recent window instead of the whole run, so
+    #: detector memory is bounded on million-sample runs and the threshold
+    #: adapts to workload drift.  Runs shorter than the window are
+    #: bit-for-bit the unwindowed behaviour.
+    history_window: int = 4096
 
     def __post_init__(self) -> None:
         if not 0.0 < self.quantile < 1.0:
@@ -48,18 +52,38 @@ class SpeculationPolicy:
             raise ValueError("min_history must be >= 1")
         if self.max_clones_per_item < 1:
             raise ValueError("max_clones_per_item must be >= 1")
+        if self.history_window < self.min_history:
+            raise ValueError("history_window must be >= min_history")
 
 
 class StragglerDetector:
-    """Quantile detector over completed-sample duration statistics."""
+    """Quantile detector over completed-sample duration statistics.
+
+    The history is a bounded ring (``policy.history_window`` most recent
+    normalised durations); evicted values survive only as aggregates.  This
+    keeps detector memory independent of run length and makes the threshold
+    a moving-window statistic — identical to the unwindowed detector for
+    any run shorter than the window.
+    """
 
     def __init__(self, policy: Optional[SpeculationPolicy] = None) -> None:
+        # Imported here, not at module top: repro.core.async_engine imports
+        # this package, so a top-level import of repro.core from here would
+        # be a circular package initialisation.
+        from repro.core.telemetry_slots import RingBuffer
+
         self.policy = policy if policy is not None else SpeculationPolicy()
-        self._durations: List[float] = []
+        self._durations = RingBuffer(self.policy.history_window)
         self._threshold: Optional[float] = None  # cache, invalidated by observe
 
     @property
     def n_observed(self) -> int:
+        """All-time observation count (window evictions included)."""
+        return self._durations.n_appended
+
+    @property
+    def n_windowed(self) -> int:
+        """Observations currently inside the quantile window."""
         return len(self._durations)
 
     def observe(self, normalized_duration: float) -> None:
@@ -75,10 +99,10 @@ class StragglerDetector:
         ``None`` while the history is shorter than the policy's
         ``min_history`` — no detection fires during cold start.
         """
-        if len(self._durations) < self.policy.min_history:
+        if self._durations.n_appended < self.policy.min_history:
             return None
         if self._threshold is None:
-            anchor = float(np.quantile(self._durations, self.policy.quantile))
+            anchor = self._durations.quantile(self.policy.quantile)
             self._threshold = anchor * self.policy.slack
         return self._threshold
 

@@ -1,0 +1,127 @@
+"""Tests for the bounded telemetry slots (ring buffers + spill summaries).
+
+These containers are what makes the event loop's memory independent of run
+length at the 1M-sample scale: the invariants checked here are *bounded
+size* (the ring never exceeds its capacity), *no silent truncation* (every
+evicted value survives in the spill aggregates; all-time counters keep the
+full story) and *chronology* (the buffer is always the most recent window,
+oldest first).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LoopTelemetry, RingBuffer, SpillSummary
+from repro.faults import SpeculationPolicy, StragglerDetector
+
+
+def test_spill_summary_tracks_running_aggregates():
+    summary = SpillSummary()
+    assert summary.count == 0
+    assert summary.mean is None
+    for value in (3.0, -1.0, 4.0):
+        summary.observe(value)
+    assert summary.count == 3
+    assert summary.total == 6.0
+    assert summary.minimum == -1.0
+    assert summary.maximum == 4.0
+    assert summary.mean == 2.0
+    assert summary.as_dict() == {
+        "count": 3,
+        "total": 6.0,
+        "min": -1.0,
+        "max": 4.0,
+        "mean": 2.0,
+    }
+
+
+def test_ring_buffer_below_capacity_holds_everything():
+    ring = RingBuffer(8)
+    for value in (5.0, 1.0, 3.0):
+        ring.append(value)
+    assert len(ring) == 3
+    assert ring.n_appended == 3
+    assert ring.n_spilled == 0
+    assert list(ring.as_array()) == [5.0, 1.0, 3.0]
+    assert ring.quantile(1.0) == 5.0
+
+
+def test_ring_buffer_spills_oldest_and_keeps_recent_window():
+    ring = RingBuffer(4)
+    for value in range(10):
+        ring.append(float(value))
+    # Bounded: the buffer holds exactly the 4 most recent, oldest first.
+    assert len(ring) == 4
+    assert list(ring.as_array()) == [6.0, 7.0, 8.0, 9.0]
+    # No silent truncation: the 6 evicted values live on in the spill.
+    assert ring.n_appended == 10
+    assert ring.n_spilled == 6
+    assert ring.spilled.minimum == 0.0
+    assert ring.spilled.maximum == 5.0
+    assert ring.spilled.total == sum(range(6))
+    # Quantile is over the buffered window only.
+    assert ring.quantile(0.5) == 7.5
+
+
+def test_ring_buffer_window_matches_numpy_on_random_stream():
+    rng = np.random.default_rng(8)
+    ring = RingBuffer(32)
+    values = rng.uniform(0.0, 10.0, size=200)
+    for value in values:
+        ring.append(float(value))
+    window = values[-32:]
+    assert np.array_equal(ring.as_array(), window)
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert ring.quantile(q) == pytest.approx(float(np.quantile(window, q)))
+    assert ring.spilled.count == 168
+    assert ring.spilled.total == pytest.approx(float(values[:-32].sum()))
+
+
+def test_ring_buffer_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+    with pytest.raises(ValueError):
+        RingBuffer(4).quantile(0.5)
+
+
+def test_loop_telemetry_counters_and_bounded_window():
+    telemetry = LoopTelemetry(capacity=16)
+    for k in range(100):
+        telemetry.record_submit()
+        telemetry.record_complete(finish_hours=float(k), duration_hours=1.0 + k)
+    telemetry.record_fail()
+    telemetry.record_cancel()
+    snapshot = telemetry.snapshot()
+    assert snapshot["n_submitted"] == 100
+    assert snapshot["n_completed"] == 100
+    assert snapshot["n_failed"] == 1
+    assert snapshot["n_cancelled"] == 1
+    # The recent window is capacity-bounded; aggregates cover all events.
+    assert snapshot["recent_window"] == 16
+    assert snapshot["window_capacity"] == 16
+    assert snapshot["durations"]["count"] == 100
+    assert snapshot["durations"]["min"] == 1.0
+    assert snapshot["durations"]["max"] == 100.0
+    assert list(telemetry.recent_completions.as_array()) == [
+        float(k) for k in range(84, 100)
+    ]
+
+
+def test_straggler_detector_history_is_windowed():
+    """The detector observes through a ring: thresholds follow the recent
+    window, all-time counts stay exact, and memory stays bounded."""
+    policy = SpeculationPolicy(min_history=4, history_window=8, quantile=0.5)
+    detector = StragglerDetector(policy)
+    for value in range(100):
+        detector.observe(float(value) + 1.0)
+    assert detector.n_observed == 100
+    assert detector.n_windowed == 8
+    # Median of the last 8 observations (93..100), not of all 100.
+    assert detector.threshold() == pytest.approx(
+        float(np.quantile(np.arange(93.0, 101.0), 0.5)) * policy.slack
+    )
+
+
+def test_speculation_policy_rejects_window_smaller_than_min_history():
+    with pytest.raises(ValueError):
+        SpeculationPolicy(min_history=16, history_window=8)

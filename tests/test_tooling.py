@@ -69,6 +69,59 @@ def test_static_analysis_gates_are_wired_into_make_and_ci():
     assert ci.index("make typecheck") < tier1
 
 
+def test_bench_gates_are_wired_into_make_and_ci():
+    """The event-loop scale bench and the perf-trajectory compare gate are
+    reachable: make targets exist, their tools exist, CI runs both, and the
+    compare step follows the full bench suite (it diffs its artifacts)."""
+    with open(os.path.join(REPO_ROOT, "Makefile")) as fh:
+        makefile = fh.read()
+    assert re.search(r"^bench-eventloop:", makefile, re.MULTILINE)
+    assert re.search(r"^bench-compare:", makefile, re.MULTILINE)
+    # The help header documents both new targets.
+    assert "make bench-eventloop" in makefile
+    assert "make bench-compare" in makefile
+    assert os.path.exists(os.path.join(TOOLS_DIR, "run_eventloop_bench.sh"))
+    assert os.path.exists(os.path.join(TOOLS_DIR, "bench_compare.py"))
+    # Committed baselines exist for the compare gate to diff against.
+    baselines = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+    assert os.path.isdir(baselines)
+    assert any(name.startswith("BENCH_") for name in os.listdir(baselines))
+
+    with open(os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")) as fh:
+        ci = fh.read()
+    assert "make bench-eventloop" in ci, "CI must run the event-loop scale gate"
+    assert "tools/bench_compare.py" in ci, "CI must run the perf-trajectory gate"
+    assert ci.index("run: make bench\n") < ci.index("tools/bench_compare.py"), (
+        "bench-compare must run after the full bench suite generated artifacts"
+    )
+    assert "GITHUB_STEP_SUMMARY" in ci, (
+        "CI must publish the bench_compare table to the job summary"
+    )
+
+
+def test_ci_workflow_is_hardened():
+    """Concurrency cancellation, job timeouts and the unit-test version
+    matrix — CI hygiene the workflow must not silently lose."""
+    with open(os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")) as fh:
+        ci = fh.read()
+    assert "concurrency:" in ci, "workflow must declare a concurrency group"
+    assert "cancel-in-progress:" in ci, (
+        "superseded pull-request runs must be cancelled, not queued"
+    )
+    n_jobs = len(re.findall(r"^\s{2}\w[\w-]*:\s*$\n(?=\s{4}runs-on:)", ci, re.MULTILINE))
+    n_timeouts = len(re.findall(r"^\s+timeout-minutes:\s*\d+", ci, re.MULTILINE))
+    assert n_jobs == 3, f"expected the three lint/test/bench jobs, found {n_jobs}"
+    assert n_timeouts == n_jobs, (
+        f"every job needs a timeout-minutes ({n_timeouts}/{n_jobs} set)"
+    )
+    assert re.search(r"matrix:\s*\n\s*python-version:", ci), (
+        "the test job must run a python-version matrix"
+    )
+    assert '"3.11"' in ci and '"3.12"' in ci, (
+        "unit tests must cover Python 3.11 and 3.12"
+    )
+
+
 def test_readme_rule_table_matches_the_registry():
     """The README's detlint rule table stays in sync with the registry:
     every registered code documented, no stale rows for removed rules."""

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Event-loop scale microbenchmark: measures indexed-loop events/sec against
+# the retained linear-scan reference at 1k workers (gate: >=10x), drives a
+# 10k-worker / 1M-event saturation run under a throughput floor with
+# bounded memory, and writes BENCH_EVENTLOOP.json for CI archiving.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest benchmarks/test_bench_eventloop.py -q -s "$@"
