@@ -12,10 +12,11 @@
 #   make bench-straggler  speculative re-execution under injected stragglers
 #   make bench-resilience crash recovery + durable checkpointing microbenchmark
 #   make bench-eventloop  event-loop scale microbenchmark (10k workers / 1M events)
+#   make bench-obs        observability overhead gate + RUN_REPORT.md artifact
 #   make bench-compare    diff fresh BENCH_*.json against benchmarks/baselines
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience bench-eventloop bench-compare
+.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience bench-eventloop bench-obs bench-compare
 
 test:
 	./tools/run_tier1.sh
@@ -52,6 +53,9 @@ bench-resilience:
 
 bench-eventloop:
 	./tools/run_eventloop_bench.sh
+
+bench-obs:
+	./tools/run_obs_bench.sh
 
 bench-compare:
 	python tools/bench_compare.py

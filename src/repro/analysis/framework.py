@@ -200,6 +200,17 @@ class Rule:
     def applies_to(self, ctx: FileContext) -> bool:
         return True
 
+    def allows_pragma(self, ctx: FileContext) -> bool:
+        """Whether ``allow`` pragmas for this rule are honoured in this file.
+
+        Default: every justified pragma suppresses.  Rules override this to
+        *scope* their exemption surface — e.g. DET002 refuses pragmas in the
+        observability package outside its single sanctioned clock shim, so a
+        stray wall-clock read cannot be waved through with a comment.  A
+        refused pragma leaves the finding standing (and the pragma itself is
+        still audited for justification)."""
+        return True
+
     def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
         return iter(())
 
@@ -304,11 +315,17 @@ def check_file(
                 raw.extend(rule.visit_Dict(node, ctx))
 
     pragmas = parse_pragmas(lines)
+    rule_by_code = {rule.code: rule for rule in rules}
     findings: List[Finding] = []
     suppressed = 0
     for finding in raw:
         pragma = _pragma_for(pragmas, finding)
-        if pragma is not None and pragma.justified:
+        rule = rule_by_code.get(finding.code)
+        if (
+            pragma is not None
+            and pragma.justified
+            and (rule is None or rule.allows_pragma(ctx))
+        ):
             suppressed += 1
             continue
         findings.append(finding)

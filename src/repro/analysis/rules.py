@@ -214,6 +214,17 @@ class WallClockInCorePath(Rule):
     def applies_to(self, ctx: FileContext) -> bool:
         return not ctx.is_benchmark_code
 
+    def allows_pragma(self, ctx: FileContext) -> bool:
+        """Scope the exemption surface inside the observability package.
+
+        ``repro/obs`` may read host time in exactly one place — the
+        injectable ``clock.py`` shim.  Everywhere else in ``obs/`` a
+        wall-clock read stays a finding even behind a justified pragma, so
+        instrumentation code cannot quietly grow its own timers."""
+        if ctx.has_part("obs"):
+            return ctx.basename == "clock.py"
+        return True
+
     def visit_Call(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
         name = _call_name(node, ctx)
         if name in _WALL_CLOCK_FNS:

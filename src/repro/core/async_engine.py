@@ -84,6 +84,7 @@ from repro.cloud.telemetry import apply_interference_signature
 from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
 from repro.core.datastore import Sample
+from repro.core.eventlog import config_digest
 from repro.core.execution import ExecutionEngine
 from repro.core.telemetry_slots import LoopTelemetry
 from repro.core.worker_index import WorkerIndex
@@ -103,6 +104,8 @@ from repro.faults import (
 if TYPE_CHECKING:  # avoid import cycles; annotations only
     from repro.core.eventlog import EventLog
     from repro.core.scheduler import MultiFidelityTaskScheduler
+    from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+    from repro.obs.tracing import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -219,11 +222,34 @@ class ClusterEventLoop:
         fault_model: "FaultModel | str | None" = None,
         crash_model: "CrashModel | str | None" = None,
         telemetry_window: int = 4096,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         self.cluster = cluster
         self.lockstep = lockstep
         self.fault_model = build_fault_model(fault_model)
         self.crash_model = build_crash_model(crash_model)
+        #: Optional observability registry.  Purely additive: every use is
+        #: guarded by ``is not None`` and only increments instruments, so an
+        #: attached registry is trajectory-inert (the ``fault_model="none"``
+        #: discipline, guarded by tests/obs/test_obs_equivalence.py).
+        self._metrics = metrics
+        if metrics is not None:
+            # Pre-resolved instrument handles: the per-event cost of an
+            # attached registry is then a float add / ring append, with no
+            # key-string construction or registry lookup on the hot path.
+            # Handles are plain references into the registry, so they pickle
+            # as shared objects inside the same checkpoint graph.
+            self._m_submitted: "Counter" = metrics.counter("loop.items.submitted")
+            self._m_completed: "Counter" = metrics.counter("loop.items.completed")
+            self._m_failed: "Counter" = metrics.counter("loop.items.failed")
+            self._m_cancelled: "Counter" = metrics.counter("loop.items.cancelled")
+            self._m_queue_wait: "Histogram" = metrics.histogram(
+                "loop.queue_wait_hours"
+            )
+            self._m_duration: "Histogram" = metrics.histogram("loop.duration_hours")
+            #: Per-(region, SKU) busy-hours counters, filled lazily as the
+            #: fleet's groups first deliver work.
+            self._m_busy: Dict[Tuple[str, str], "Counter"] = {}
         #: Indexed worker state: array-backed clocks, idle heaps, calendar.
         self._workers = WorkerIndex(cluster)
         self._events: List[Tuple[float, int, WorkItem]] = []
@@ -335,6 +361,11 @@ class ClusterEventLoop:
         heapq.heappush(self._events, (finish, self._sequence, item))
         self._sequence += 1
         self.telemetry.record_submit()
+        if self._metrics is not None:
+            self._m_submitted.inc()
+            # Queue wait: how long the item sat behind the worker's queue
+            # beyond the orchestrator's decision instant (backoff excluded).
+            self._m_queue_wait.observe(start - max(self.now, not_before))
         return item
 
     # -- introspection --------------------------------------------------------
@@ -420,6 +451,8 @@ class ClusterEventLoop:
                 worker_idx, max(item.start_hours, min(self.now, item.finish_hours))
             )
         self.telemetry.record_cancel()
+        if self._metrics is not None:
+            self._m_cancelled.inc()
 
     def _purge_cancelled_heads(self) -> None:
         """Drop cancelled items sitting at the top of the event heap."""
@@ -462,6 +495,22 @@ class ClusterEventLoop:
             self.telemetry.record_fail()
         else:
             self.telemetry.record_complete(finish, finish - item.start_hours)
+        if self._metrics is not None:
+            vm = item.vm
+            if item.failed:
+                self._m_failed.inc()
+            else:
+                self._m_completed.inc()
+                self._m_duration.observe(finish - item.start_hours)
+            # Per-(region, SKU) delivered busy hours: the utilization split
+            # the run report renders (failed items were busy until death).
+            group = (vm.region.name, vm.sku.name)
+            busy = self._m_busy.get(group)
+            if busy is None:
+                busy = self._m_busy[group] = self._metrics.counter(
+                    "loop.busy_hours", region=group[0], sku=group[1]
+                )
+            busy.inc(finish - item.start_hours)
         return item
 
 
@@ -500,6 +549,8 @@ class AsyncExecutionEngine:
         retry_policy: Optional[RetryPolicy] = None,
         event_log: Optional[EventLog] = None,
         config_exclusion_capacity: int = 65536,
+        metrics: "Optional[MetricsRegistry]" = None,
+        tracer: "Optional[TraceRecorder]" = None,
     ) -> None:
         if config_exclusion_capacity < 1:
             raise ValueError("config_exclusion_capacity must be >= 1")
@@ -530,7 +581,24 @@ class AsyncExecutionEngine:
             lockstep=lockstep,
             fault_model=fault_model,
             crash_model=crash_model,
+            metrics=metrics,
         )
+        #: Optional observability instruments (``is not None``-guarded and
+        #: write-only, so attaching them is trajectory-inert).
+        self._metrics = metrics
+        self._tracer = tracer
+        if metrics is not None:
+            # Pre-resolved handles for the once-per-item sites (submit,
+            # complete, land) — same hot-path discipline as the event
+            # loop's; rarer sites (retries, cancels, speculation) keep the
+            # name-addressed convenience calls.
+            self._m_eng_submitted: "Counter" = metrics.counter(
+                "engine.items.submitted"
+            )
+            self._m_eng_completed: "Counter" = metrics.counter(
+                "engine.items.completed"
+            )
+            self._m_eng_landed: "Counter" = metrics.counter("engine.samples.landed")
         self.speculation = speculation
         self.retry_policy = retry_policy
         self.stats = SpeculationStats()
@@ -594,8 +662,6 @@ class AsyncExecutionEngine:
     def _log(self, kind: str, **fields: Any) -> None:
         """Mirror an engine action into the write-ahead event log, if any."""
         if self._event_log is not None:
-            from repro.core.eventlog import config_digest
-
             config = fields.pop("config", None)
             if config is not None:
                 fields["config"] = config_digest(config)
@@ -617,6 +683,7 @@ class AsyncExecutionEngine:
         self._config_refs[request.config] = self._config_refs.get(request.config, 0) + 1
         self._evict_exclusions()
         items = []
+        submitted_at = self.loop.now
         for vm in request.vms:
             item = self.loop.submit(request, vm, self.duration_for(vm))
             self._request_id_of[item.sequence] = request_id
@@ -631,9 +698,30 @@ class AsyncExecutionEngine:
                 t=item.start_hours,
                 iteration=request.iteration,
                 budget=request.budget,
+                submitted=submitted_at,
+                region=vm.region.name,
+                sku=vm.sku.name,
             )
+            if self._metrics is not None:
+                self._m_eng_submitted.inc()
+            self._trace_begin(item, "run", submitted_at)
         self.n_submitted_requests += 1
         return items
+
+    def _trace_begin(self, item: WorkItem, kind: str, submitted: float) -> None:
+        """Open the item's lifecycle span (no-op without a tracer)."""
+        if self._tracer is None:
+            return
+        self._tracer.begin(
+            item.sequence,
+            item.vm.vm_id,
+            kind,
+            submitted,
+            item.start_hours,
+            config=config_digest(item.request.config)
+            if item.request.config is not None
+            else None,
+        )
 
     def _evict_exclusions(self) -> None:
         """Bound the per-config exclusion map (oldest quiescent configs go).
@@ -776,6 +864,14 @@ class AsyncExecutionEngine:
             value=sample.value,
             crashed=sample.crashed,
         )
+        if self._metrics is not None:
+            self._m_eng_completed.inc()
+            if item.speculative:
+                self._metrics.inc("engine.speculation.wins")
+        if self._tracer is not None:
+            self._tracer.end(
+                item.sequence, item.finish_hours, "complete", value=sample.value
+            )
         result = self._land(request_id, sample)
         self._maybe_speculate()
         return result
@@ -785,6 +881,10 @@ class AsyncExecutionEngine:
     ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
         """Count one landed sample (real or crash-penalty) against its
         request; returns the completed pair when it was the last open slot."""
+        if self._metrics is not None:
+            self._m_eng_landed.inc()
+            if sample.crashed:
+                self._metrics.inc("engine.samples.crashed")
         self._samples[request_id].append(sample)
         self._remaining[request_id] -= 1
         if self._remaining[request_id] != 0:
@@ -836,6 +936,13 @@ class AsyncExecutionEngine:
             speculative=item.speculative,
             worker_dead=self.loop.is_dead(worker_id),
         )
+        if self._metrics is not None:
+            self._metrics.inc("engine.items.failed")
+            self._metrics.inc("engine.failures", fault=item.failure_kind)
+        if self._tracer is not None:
+            self._tracer.end(
+                item.sequence, item.finish_hours, "fail", fault=item.failure_kind
+            )
         if item.speculative:
             # A speculative duplicate died.  The slot usually still has its
             # original (or sibling duplicates) racing — then the failure
@@ -910,9 +1017,17 @@ class AsyncExecutionEngine:
                     t=item.start_hours,
                     attempt=attempts + 1,
                     failed_worker=failed_item.vm.vm_id,
+                    submitted=failed_item.finish_hours,
+                    region=vm.region.name,
+                    sku=vm.sku.name,
                 )
+                if self._metrics is not None:
+                    self._metrics.inc("engine.items.retried")
+                self._trace_begin(item, "retry", failed_item.finish_hours)
                 return None
         self.crash_stats.n_exhausted += 1
+        if self._metrics is not None:
+            self._metrics.inc("engine.retries.exhausted")
         sample = self.execution.crashed_sample(
             request.config,
             failed_item.vm.vm_id,
@@ -976,6 +1091,23 @@ class AsyncExecutionEngine:
         self._request_id_of.pop(item.sequence, None)
         self._flagged.discard(item.sequence)
         self.stats.n_items_cancelled += 1
+        # The instant the worker is released back to (same expression as
+        # ClusterEventLoop.cancel): when the item never started, its span
+        # collapses to zero length at its scheduled start.
+        cancelled_at = max(item.start_hours, min(self.loop.now, item.finish_hours))
+        self._log(
+            "cancel",
+            item=item.sequence,
+            config=item.request.config,
+            worker=item.vm.vm_id,
+            t=cancelled_at,
+        )
+        if self._metrics is not None:
+            self._metrics.inc("engine.items.cancelled")
+            if item.speculative:
+                self._metrics.inc("engine.speculation.losses")
+        if self._tracer is not None:
+            self._tracer.end(item.sequence, cancelled_at, "cancel")
 
     def speculative_workers_for(self, config: Configuration) -> List[str]:
         """Workers currently running a speculative duplicate of ``config``.
@@ -1048,6 +1180,8 @@ class AsyncExecutionEngine:
                 if sequence not in self._flagged:
                     self._flagged.add(sequence)
                     self.stats.n_stragglers_detected += 1
+                    if self._metrics is not None:
+                        self._metrics.inc("engine.stragglers.detected")
                 clone_vm = self._pick_speculative_worker(item)
                 if clone_vm is None:
                     continue  # nobody idle and eligible at the crossing
@@ -1085,6 +1219,8 @@ class AsyncExecutionEngine:
             if sequence not in self._flagged:
                 self._flagged.add(sequence)
                 self.stats.n_stragglers_detected += 1
+                if self._metrics is not None:
+                    self._metrics.inc("engine.stragglers.detected")
             clone_vm = self._pick_speculative_worker(item)
             if clone_vm is None:
                 continue  # no idle eligible worker right now; retry later
@@ -1131,7 +1267,13 @@ class AsyncExecutionEngine:
             worker=vm.vm_id,
             t=clone.start_hours,
             original_item=item.sequence,
+            submitted=self.loop.now,
+            region=vm.region.name,
+            sku=vm.sku.name,
         )
+        if self._metrics is not None:
+            self._metrics.inc("engine.items.speculated")
+        self._trace_begin(clone, "speculative", self.loop.now)
 
     def next_completed_requests(self) -> List[Tuple[WorkRequest, List[Sample]]]:
         """Drain one *wave* of completions: every request finishing at the

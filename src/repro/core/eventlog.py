@@ -26,6 +26,7 @@ import json
 import os
 import subprocess
 from datetime import datetime, timezone
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 if TYPE_CHECKING:  # annotation only; configspace never imports core
@@ -44,8 +45,24 @@ class EventLogError(RuntimeError):
         self.line = line
 
 
+_GIT_SHA_MEMO: Optional[str] = None
+
+
 def _git_sha() -> str:
-    """Current commit SHA, or "unknown" outside a usable git checkout."""
+    """Current commit SHA, or "unknown" outside a usable git checkout.
+
+    Memoised per process: the checkout cannot change mid-run, and opening
+    many logs (one per study in a multi-tenant process) must not fork a
+    ``git rev-parse`` subprocess per open.
+    """
+    global _GIT_SHA_MEMO
+    if _GIT_SHA_MEMO is not None:
+        return _GIT_SHA_MEMO
+    _GIT_SHA_MEMO = _git_sha_uncached()
+    return _GIT_SHA_MEMO
+
+
+def _git_sha_uncached() -> str:
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -61,12 +78,16 @@ def _git_sha() -> str:
     return proc.stdout.strip() or "unknown"
 
 
+@lru_cache(maxsize=4096)
 def config_digest(config: Configuration) -> str:
     """Short stable digest identifying a configuration in log records.
 
     Hashes the sorted parameter/value mapping, so the digest is independent
     of dict ordering and process hash randomisation — the same configuration
-    always logs the same digest, across runs and across resumes.
+    always logs the same digest, across runs and across resumes.  Memoised
+    (configurations are immutable and hashable): a study logs and traces the
+    same configuration once per worker fan-out, and re-serialising it every
+    time would dominate the instrumentation cost.
     """
     payload = json.dumps(config.as_dict(), sort_keys=True, default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]

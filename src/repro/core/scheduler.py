@@ -21,13 +21,16 @@ scheduler would do, and what the heterogeneous-fleet benchmark beats.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cloud.cluster import Cluster
 from repro.cloud.vm import VirtualMachine
 from repro.configspace import Configuration
+
+if TYPE_CHECKING:  # annotation only; obs is an optional attachment
+    from repro.obs.metrics import MetricsRegistry
 
 #: Known placement policies (see class docstring).
 PLACEMENT_POLICIES = ("heterogeneity", "fifo")
@@ -69,6 +72,9 @@ class MultiFidelityTaskScheduler:
             vm.vm_id: i for i, vm in enumerate(cluster.workers)
         }
         self._rr_cursor = 0  # next worker index for "fifo" round-robin
+        #: Optional observability registry (attached by the tuning loop).
+        #: Write-only and ``is not None``-guarded — trajectory-inert.
+        self.metrics: Optional["MetricsRegistry"] = None
         # Workers permanently drained from the fleet (fail-stop node death).
         # They keep their load/reservation bookkeeping — in-flight samples on
         # a dying worker are still released through the normal paths — but
@@ -107,6 +113,8 @@ class MultiFidelityTaskScheduler:
                 raise KeyError(f"unknown worker {worker_id!r}")
             self._reserved[worker_id] += 1
             self._n_reserved_total += 1
+        if self.metrics is not None:
+            self.metrics.set("scheduler.reserved", self._n_reserved_total)
 
     def release(self, worker_ids: Sequence[str]) -> None:
         """Release reservations taken out by :meth:`reserve`."""
@@ -117,6 +125,8 @@ class MultiFidelityTaskScheduler:
                 raise RuntimeError(f"worker {worker_id!r} has no reservation to release")
             self._reserved[worker_id] -= 1
             self._n_reserved_total -= 1
+        if self.metrics is not None:
+            self.metrics.set("scheduler.reserved", self._n_reserved_total)
 
     def n_reserved(self) -> int:
         """Total in-flight sample reservations across the cluster (O(1))."""
@@ -257,6 +267,12 @@ class MultiFidelityTaskScheduler:
         chosen = order[:needed]
         for vm in chosen:
             self._load[vm.vm_id] += 1
+        if self.metrics is not None:
+            self.metrics.inc("scheduler.assignments")
+            for vm in chosen:
+                self.metrics.inc(
+                    "scheduler.placements", region=self._region[vm.vm_id]
+                )
         if self.placement == "fifo" and chosen:
             self._rr_cursor = (self._index[chosen[-1].vm_id] + 1) % self.n_workers
         return chosen

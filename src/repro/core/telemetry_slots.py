@@ -58,6 +58,22 @@ class SpillSummary:
             return None
         return self.total / self.count
 
+    def merge(self, other: "SpillSummary") -> None:
+        """Fold another summary into this one (per-group → rollup).
+
+        Equivalent to having observed both streams: counts and totals add,
+        extrema combine.  Merging an empty summary is a no-op, so rollups
+        can fold groups unconditionally.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            if self.minimum is None or other.minimum < self.minimum:
+                self.minimum = other.minimum
+        if other.maximum is not None:
+            if self.maximum is None or other.maximum > self.maximum:
+                self.maximum = other.maximum
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,
@@ -112,6 +128,24 @@ class RingBuffer:
         return np.concatenate(
             (self._values[self._next :], self._values[: self._next])
         )
+
+    def snapshot(self) -> Dict[str, object]:
+        """All-time aggregates plus the buffered window, one dict.
+
+        Combines the spill summary (evictions) with the still-buffered
+        values, so ``count``/``total``/extrema describe *everything* ever
+        appended — the bounded window never silently truncates the story.
+        """
+        window = self.as_array()
+        combined = SpillSummary()
+        combined.merge(self.spilled)
+        for value in window:
+            combined.observe(float(value))
+        out = combined.as_dict()
+        out["n_appended"] = self.n_appended
+        out["n_spilled"] = self.n_spilled
+        out["window"] = window.tolist()
+        return out
 
     def quantile(self, q: float) -> float:
         """Quantile over the *buffered* (most recent) window."""

@@ -13,7 +13,7 @@ import hashlib
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -33,6 +33,10 @@ from repro.faults import (
 from repro.ml.metrics import coefficient_of_variation, relative_range
 from repro.systems.base import SystemUnderTest
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # annotation only; obs is an optional attachment
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import TraceRecorder
 
 
 @dataclass
@@ -223,6 +227,18 @@ class TuningLoop:
         Testing/demo kill switch: raise :class:`StudyInterrupted` once this
         many waves have been processed (after the wave's checkpoint, when
         checkpointing is armed), simulating a killed tuning process.
+    metrics:
+        Observability: a :class:`~repro.obs.metrics.MetricsRegistry` (or
+        ``True`` for a default one) receiving lifecycle counters, gauges
+        and latency histograms from the event loop, engine, scheduler and
+        optimizer.  Off by default; when attached it is write-only and
+        trajectory-inert — the study's samples, placements and clocks are
+        bit-for-bit identical with or without it.
+    tracer:
+        Observability: a :class:`~repro.obs.tracing.TraceRecorder` (or
+        ``True`` for a default one) recording a span per work-item
+        lifecycle over simulated time, exportable as Chrome trace-event
+        JSON.  Same trajectory-inertness contract as ``metrics``.
     """
 
     #: Abort after this many *consecutive* iterations that schedule no new
@@ -250,6 +266,8 @@ class TuningLoop:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         stop_after_waves: Optional[int] = None,
+        metrics: "MetricsRegistry | bool | None" = None,
+        tracer: "TraceRecorder | bool | None" = None,
     ) -> None:
         if n_iterations is None and wall_clock_hours is None and max_samples is None:
             raise ValueError(
@@ -275,6 +293,25 @@ class TuningLoop:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.stop_after_waves = stop_after_waves
+        # Observability attachments.  ``True`` means "build me a default";
+        # note an *empty* registry is falsy, so the normalisation compares
+        # against the booleans explicitly instead of truth-testing.
+        if metrics is True:
+            from repro.obs.metrics import MetricsRegistry as _Registry
+
+            self.metrics: Optional["MetricsRegistry"] = _Registry()
+        elif metrics is False:
+            self.metrics = None
+        else:
+            self.metrics = metrics
+        if tracer is True:
+            from repro.obs.tracing import TraceRecorder as _Recorder
+
+            self.tracer: Optional["TraceRecorder"] = _Recorder()
+        elif tracer is False:
+            self.tracer = None
+        else:
+            self.tracer = tracer
         #: Run state captured by :meth:`checkpoint` / restored by
         #: :meth:`resume`; only non-None while a run/resume is in progress.
         self._active_state: Optional[_AsyncRunState] = None
@@ -416,7 +453,18 @@ class TuningLoop:
             event_log=self.event_log,
             scheduler=getattr(self.sampler, "scheduler", None),
             used_workers_fn=self.sampler.datastore.workers_used,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
+        if self.metrics is not None:
+            # One registry observes the whole stack: placement decisions and
+            # surrogate refits land next to the engine's lifecycle counters.
+            scheduler = getattr(self.sampler, "scheduler", None)
+            if scheduler is not None:
+                scheduler.metrics = self.metrics
+            optimizer = getattr(self.sampler, "optimizer", None)
+            if optimizer is not None:
+                optimizer.metrics = self.metrics
         return _AsyncRunState(engine=engine, batch_size=batch_size, lockstep=lockstep)
 
     def _crash_active(self) -> bool:

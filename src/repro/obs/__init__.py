@@ -1,0 +1,42 @@
+"""Observability over the discrete-event tuning stack.
+
+Three layers, all off by default and trajectory-inert when enabled:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters, gauges
+  and bounded histograms, threaded through the event loop, engine,
+  scheduler and optimizers via ``metrics=`` parameters;
+* :mod:`repro.obs.tracing` — work-item lifecycle spans over simulated time
+  (live via ``tracer=TraceRecorder()``, or offline from any replayed event
+  log), exportable as Chrome trace-event JSON;
+* :mod:`repro.obs.report` — study run reports (markdown/JSON) rendered by
+  ``python -m repro.obs report <eventlog>``.
+
+Host time enters only through the injectable :mod:`repro.obs.clock` shim;
+the default :class:`NullClock` never reads the wall clock.
+"""
+
+from repro.obs.clock import Clock, HostClock, NullClock
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import RunReport, report_from_log
+from repro.obs.tracing import (
+    Span,
+    TraceRecorder,
+    spans_from_events,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HostClock",
+    "MetricsRegistry",
+    "NullClock",
+    "RunReport",
+    "Span",
+    "TraceRecorder",
+    "report_from_log",
+    "spans_from_events",
+    "to_chrome_trace",
+]

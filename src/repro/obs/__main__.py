@@ -1,0 +1,73 @@
+"""CLI: render run reports and traces from durable study event logs.
+
+Usage::
+
+    python -m repro.obs report <eventlog> [--markdown PATH] [--json PATH]
+                               [--trace PATH] [--bins N]
+
+With no output flag the markdown report prints to stdout.  ``--trace``
+exports the span set as Chrome trace-event JSON (open in Perfetto or
+``chrome://tracing``).  Exit codes: 0 on success, 2 on a missing/corrupt
+log (the replay validator's error is printed verbatim).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.eventlog import EventLog, EventLogError
+from repro.obs.report import RunReport
+from repro.obs.tracing import spans_from_events, to_chrome_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability tooling over durable study event logs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="render a study run report")
+    report.add_argument("eventlog", help="path to the study's JSONL event log")
+    report.add_argument("--markdown", help="write the markdown report here")
+    report.add_argument("--json", dest="json_path", help="write the JSON report here")
+    report.add_argument("--trace", help="write Chrome trace-event JSON here")
+    report.add_argument(
+        "--bins", type=int, default=24, help="utilization timeline bins (default 24)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        events = EventLog.replay(args.eventlog)
+    except EventLogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = RunReport.from_events(events, n_bins=args.bins)
+    wrote_something = False
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        wrote_something = True
+    if args.trace:
+        trace = to_chrome_trace(spans_from_events(events))
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+            fh.write("\n")
+        wrote_something = True
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(report.to_markdown() + "\n")
+        wrote_something = True
+    if not wrote_something:
+        print(report.to_markdown())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The single sanctioned host-clock shim of the observability layer.
+
+The determinism contract forbids wall-clock reads in core paths (detlint
+DET002): simulated hours are the only clock a trajectory may depend on.
+Observability still legitimately wants *host* latencies — how long an
+``ask()`` or a surrogate refit really took — so this module provides the one
+injectable seam through which such reads may happen:
+
+* :class:`NullClock` — the default everywhere.  Never touches the host
+  clock; timers built on it record nothing, so a registry wired into a
+  study is deterministic by construction.
+* :class:`HostClock` — opt-in, for benchmarks and interactive profiling.
+  Reads ``time.perf_counter`` behind the repository's only justified
+  DET002 pragma outside ``benchmarks/``.
+
+detlint enforces the "single shim" property structurally: inside
+``repro/obs/`` a DET002 allow-pragma is honoured *only* in this file
+(:meth:`repro.analysis.rules.WallClockInCorePath.allows_pragma`), so a
+wall-clock read smuggled into any other obs module fires even when
+annotated.  Host time measured through the shim must never feed back into
+scheduling, placement or sampling decisions — it is telemetry, not input.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Injectable time source for host-latency instrumentation."""
+
+    #: Whether :meth:`now` returns real host time.  Timers skip their
+    #: observation entirely when this is False, so the disabled path does
+    #: not pollute histograms with zeros.
+    enabled: bool
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic; origin unspecified)."""
+        ...
+
+
+class NullClock:
+    """Deterministic default: never reads the host clock."""
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+
+class HostClock:
+    """Opt-in real host clock for overhead benchmarks and profiling."""
+
+    enabled = True
+
+    def now(self) -> float:
+        # detlint: allow[DET002] -- the observability layer's single sanctioned host-clock read; telemetry only, never fed back into scheduling or sampling
+        return time.perf_counter()

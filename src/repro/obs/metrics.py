@@ -1,0 +1,217 @@
+"""Metrics registry: counters, gauges and bounded histograms by name.
+
+Built on the event loop's slotted telemetry primitives
+(:class:`~repro.core.telemetry_slots.RingBuffer` /
+:class:`~repro.core.telemetry_slots.SpillSummary`), so a registry wired into
+a million-sample study stays fleet-sized: every histogram holds a bounded
+recent window plus O(1) all-time aggregates, and counters/gauges are single
+slots.
+
+Instruments are addressed by ``name`` plus optional labels; the same
+``(name, labels)`` pair always returns the same instrument, so call sites
+never hold references across checkpoints (the registry itself pickles, and
+is captured by :meth:`repro.core.tuner.TuningLoop.checkpoint` as part of the
+engine graph).
+
+Determinism: nothing here draws entropy, and host time enters only through
+the injectable :mod:`repro.obs.clock` shim — with the default
+:class:`~repro.obs.clock.NullClock`, :meth:`MetricsRegistry.timer` records
+nothing and the registry's contents are a pure function of the observed
+sequence.  Instrumented call sites in the core are all guarded by
+``if metrics is not None`` and only ever *add* to registry state, so an
+attached registry is trajectory-inert (guarded by
+``tests/obs/test_obs_equivalence.py``, the same discipline as
+``fault_model="none"``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.telemetry_slots import RingBuffer, SpillSummary
+from repro.obs.clock import Clock, NullClock
+
+
+def _key(name: str, labels: Dict[str, object]) -> str:
+    """Canonical instrument key: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def base_name(key: str) -> str:
+    """Instrument name with the label suffix stripped."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+class Counter:
+    """Monotonically increasing tally (accepts float increments, e.g. hours)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written level (queue depths, reservation counts)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Bounded distribution: recent window + all-time spill aggregates."""
+
+    def __init__(self, window: int = 1024) -> None:
+        self.ring = RingBuffer(window)
+
+    def observe(self, value: float) -> None:
+        self.ring.append(value)
+
+    @property
+    def count(self) -> int:
+        return self.ring.n_appended
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate over the recent window."""
+        return self.ring.quantile(q)
+
+    def all_time(self) -> SpillSummary:
+        """Aggregates over everything ever observed (spilled + buffered)."""
+        combined = SpillSummary()
+        combined.merge(self.ring.spilled)
+        for value in self.ring.as_array():
+            combined.observe(float(value))
+        return combined
+
+    def as_dict(self) -> Dict[str, object]:
+        out = self.all_time().as_dict()
+        if len(self.ring):
+            out["p50"] = self.quantile(0.50)
+            out["p90"] = self.quantile(0.90)
+            out["p99"] = self.quantile(0.99)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges and histograms.
+
+    ``window`` bounds every histogram's recent-value ring; ``clock`` is the
+    injectable host-time source used by :meth:`timer` (default: the
+    deterministic :class:`~repro.obs.clock.NullClock`, under which timers
+    are no-ops).
+    """
+
+    def __init__(self, window: int = 1024, clock: Optional[Clock] = None) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.clock: Clock = clock if clock is not None else NullClock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(self.window)
+        return instrument
+
+    # -- hot-path conveniences ------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set(self, name: str, value: float, **labels: object) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    @contextmanager
+    def timer(self, name: str, **labels: object) -> Iterator[None]:
+        """Time a block in host seconds — a no-op under the NullClock."""
+        if not self.clock.enabled:
+            yield
+            return
+        started = self.clock.now()
+        try:
+            yield
+        finally:
+            self.observe(name, self.clock.now() - started, **labels)
+
+    # -- rollups & export -----------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of a counter (0.0 if it was never touched)."""
+        instrument = self._counters.get(_key(name, labels))
+        return 0.0 if instrument is None else instrument.value
+
+    def rollup(self, name: str) -> SpillSummary:
+        """All-time aggregates of ``name`` merged across every label set."""
+        combined = SpillSummary()
+        for key, histogram in self._histograms.items():
+            if base_name(key) == name:
+                combined.merge(histogram.all_time())
+        return combined
+
+    def labelled(self, name: str) -> Dict[str, float]:
+        """Counter values of ``name`` keyed by full labelled key, sorted."""
+        return {
+            key: counter.value
+            for key, counter in sorted(self._counters.items())
+            if base_name(key) == name
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic snapshot of every instrument (sorted keys)."""
+        return {
+            "counters": {
+                key: self._counters[key].value for key in sorted(self._counters)
+            },
+            "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
+            "histograms": {
+                key: self._histograms[key].as_dict()
+                for key in sorted(self._histograms)
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+__all__: Tuple[str, ...] = (
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "base_name",
+)

@@ -1,0 +1,249 @@
+"""Span tracing over simulated time, exportable as Chrome trace-event JSON.
+
+Every :class:`~repro.core.async_engine.WorkItem` lifecycle becomes one
+:class:`Span`: submitted at the instant the orchestrator decided to run it,
+started when its worker's queue drained, ended by a completion, failure or
+cancellation.  Spans carry the item's kind (a regular run, a crash retry or
+a speculative duplicate), its worker, and the configuration digest — enough
+to reconstruct per-worker tracks of where the simulated time went.
+
+Two equivalent sources:
+
+* **live** — an engine built with ``tracer=TraceRecorder()`` records spans
+  as events fire (bounded: beyond ``max_spans`` closed spans the oldest are
+  dropped and counted, so tracing a million-sample run cannot page the
+  process to death);
+* **offline** — :func:`spans_from_events` rebuilds the identical spans from
+  a replayed :class:`~repro.core.eventlog.EventLog`, so any durable study
+  log is traceable after the fact.
+
+:func:`to_chrome_trace` renders spans in the Chrome trace-event format
+(``ph: "X"`` complete events, one track per worker) viewable in Perfetto or
+``chrome://tracing``; one simulated hour maps to one second of trace time.
+
+Determinism: span contents are a pure function of the event sequence; no
+entropy, no wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: Trace time scale: one simulated hour renders as 1e6 trace microseconds
+#: (= one second in the viewer), keeping multi-hundred-hour studies on a
+#: legible axis.
+MICROSECONDS_PER_HOUR = 1_000_000.0
+
+
+@dataclass(slots=True)
+class Span:
+    """One work item's life on one worker, in simulated hours."""
+
+    item: int
+    worker: str
+    kind: str  # "run" | "retry" | "speculative"
+    submitted: float  # decision instant (orchestrator clock at submit)
+    start: float  # worker queue drained; execution begins
+    end: Optional[float] = None
+    outcome: Optional[str] = None  # "complete" | "fail" | "cancel" | None (open)
+    config: Optional[str] = None  # configuration digest
+    value: Optional[float] = None
+    fault: Optional[str] = None
+
+    @property
+    def wait_hours(self) -> float:
+        """Queue wait: scheduled start minus submission decision."""
+        return self.start - self.submitted
+
+    @property
+    def duration_hours(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "item": self.item,
+            "worker": self.worker,
+            "kind": self.kind,
+            "submitted": self.submitted,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+            "config": self.config,
+            "value": self.value,
+            "fault": self.fault,
+        }
+
+
+class TraceRecorder:
+    """Live span collection with bounded memory.
+
+    Open spans are keyed by item sequence (bounded by the in-flight set);
+    closed spans accumulate up to ``max_spans``, after which the oldest are
+    dropped and tallied in :attr:`n_dropped` — bounded memory must never
+    silently masquerade as full coverage.
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self._open: Dict[int, Span] = {}
+        self._closed: List[Span] = []
+        self.n_dropped = 0
+
+    def begin(
+        self,
+        item: int,
+        worker: str,
+        kind: str,
+        submitted: float,
+        start: float,
+        config: Optional[str] = None,
+    ) -> None:
+        self._open[item] = Span(
+            item=item,
+            worker=worker,
+            kind=kind,
+            submitted=submitted,
+            start=start,
+            config=config,
+        )
+
+    def end(
+        self,
+        item: int,
+        end: float,
+        outcome: str,
+        value: Optional[float] = None,
+        fault: Optional[str] = None,
+    ) -> None:
+        span = self._open.pop(item, None)
+        if span is None:
+            return  # item predates the recorder (e.g. attached mid-run)
+        span.end = end
+        span.outcome = outcome
+        span.value = value
+        span.fault = fault
+        if len(self._closed) >= self.max_spans:
+            self._closed.pop(0)
+            self.n_dropped += 1
+        self._closed.append(span)
+
+    @property
+    def n_open(self) -> int:
+        return len(self._open)
+
+    @property
+    def n_closed(self) -> int:
+        return len(self._closed)
+
+    def spans(self) -> List[Span]:
+        """Closed then still-open spans, ordered by (start, item)."""
+        return sorted(
+            list(self._closed) + list(self._open.values()),
+            key=lambda span: (span.start, span.item),
+        )
+
+
+_SPAN_KIND_OF_EVENT = {"submit": "run", "retry": "retry", "speculate": "speculative"}
+
+
+def spans_from_events(events: Iterable[Dict]) -> List[Span]:
+    """Rebuild the span set from a replayed event log.
+
+    Understands the engine's item-lifecycle records (``submit`` / ``retry``
+    / ``speculate`` open a span; ``complete`` / ``fail`` / ``cancel`` close
+    it).  Logs written before the observability release lack the
+    ``submitted`` field and cancellation records; such spans fall back to
+    ``submitted = start`` and stay open, so old logs still render.
+    """
+    open_spans: Dict[int, Span] = {}
+    closed: List[Span] = []
+    for event in events:
+        kind = event.get("kind")
+        span_kind = _SPAN_KIND_OF_EVENT.get(kind or "")
+        if span_kind is not None:
+            start = float(event["t"])
+            open_spans[int(event["item"])] = Span(
+                item=int(event["item"]),
+                worker=str(event["worker"]),
+                kind=span_kind,
+                submitted=float(event.get("submitted", start)),
+                start=start,
+                config=event.get("config"),
+            )
+        elif kind in ("complete", "fail", "cancel"):
+            span = open_spans.pop(int(event["item"]), None)
+            if span is None:
+                continue
+            span.end = float(event["t"])
+            span.outcome = "complete" if kind == "complete" else kind
+            span.value = event.get("value")
+            span.fault = event.get("fault")
+            closed.append(span)
+    return sorted(
+        closed + list(open_spans.values()), key=lambda span: (span.start, span.item)
+    )
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> Dict[str, object]:
+    """Render spans as a Chrome trace-event JSON object (Perfetto-viewable).
+
+    One ``pid`` (the study), one ``tid`` per worker (named via ``M``
+    metadata events, ordered by first appearance in span order), and one
+    ``ph: "X"`` complete event per *closed* span; open spans are skipped
+    (they have no duration yet) but reported in ``otherData``.
+    """
+    spans = list(spans)
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = []
+    n_open = 0
+    for span in spans:
+        if span.worker not in tids:
+            tid = tids[span.worker] = len(tids)
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": span.worker},
+                }
+            )
+        if span.end is None:
+            n_open += 1
+            continue
+        args: Dict[str, object] = {
+            "item": span.item,
+            "outcome": span.outcome,
+            "wait_hours": span.wait_hours,
+        }
+        if span.config is not None:
+            args["config"] = span.config
+        if span.value is not None:
+            args["value"] = span.value
+        if span.fault is not None:
+            args["fault"] = span.fault
+        trace_events.append(
+            {
+                "name": f"{span.kind}:{span.config or span.item}",
+                "cat": f"{span.kind},{span.outcome}",
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[span.worker],
+                "ts": span.start * MICROSECONDS_PER_HOUR,
+                "dur": (span.end - span.start) * MICROSECONDS_PER_HOUR,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "time_unit": "1 simulated hour = 1e6 trace microseconds",
+            "n_spans": len(spans) - n_open,
+            "n_open_spans": n_open,
+            "n_workers": len(tids),
+        },
+    }

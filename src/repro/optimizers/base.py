@@ -63,6 +63,10 @@ class Optimizer(abc.ABC):
     def __init__(self, space: ConfigurationSpace, seed: Optional[int] = None) -> None:
         self.space = space
         self._rng = np.random.default_rng(seed)
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` (attached by
+        #: the tuning loop).  Instrumented sites are ``is not None``-guarded
+        #: and write-only, so an attached registry is trajectory-inert.
+        self.metrics = None
         self.observations: List[OptimizerObservation] = []
         #: In-flight constant-liar observations, retracted on the real tell.
         self._pending: List[OptimizerObservation] = []
@@ -107,6 +111,8 @@ class Optimizer(abc.ABC):
         Any pending fantasies for the configuration are retracted first: the
         real observation replaces the lie.
         """
+        if self.metrics is not None:
+            self.metrics.inc("optimizer.tells")
         self._record(config, cost, budget, metadata)
         self._data_version += 1
 
@@ -129,6 +135,9 @@ class Optimizer(abc.ABC):
                 raise ValueError("cost must be finite; penalise crashes before telling")
         if not results:
             return
+        if self.metrics is not None:
+            self.metrics.inc("optimizer.tells", len(results))
+            self.metrics.inc("optimizer.tell_batches")
         for config, cost, budget in results:
             self._record(config, cost, budget, None)
         self._data_version += 1

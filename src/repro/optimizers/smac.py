@@ -83,7 +83,11 @@ class SMACOptimizer(Optimizer):
     def _fit_surrogate(self) -> tuple:
         cached = self._surrogate_cache.get(self.data_version)
         if cached is not None:
+            if self.metrics is not None:
+                self.metrics.inc("optimizer.surrogate.cache_hits")
             return cached
+        if self.metrics is not None:
+            self.metrics.inc("optimizer.surrogate.refits")
         X, y, configs = self._training_data()
         forest = RandomForestRegressor(
             n_estimators=self.n_trees,
@@ -92,7 +96,11 @@ class SMACOptimizer(Optimizer):
             max_features=5.0 / 6.0,
             seed=int(self._rng.integers(0, 2**31 - 1)),
         )
-        forest.fit(X, y)
+        if self.metrics is not None:
+            with self.metrics.timer("optimizer.refit_seconds"):
+                forest.fit(X, y)
+        else:
+            forest.fit(X, y)
         fitted = (forest, X, y, configs)
         self._surrogate_cache.put(self.data_version, fitted)
         return fitted
@@ -111,6 +119,13 @@ class SMACOptimizer(Optimizer):
 
     # -- ask ------------------------------------------------------
     def ask(self) -> Configuration:
+        if self.metrics is not None:
+            self.metrics.inc("optimizer.asks")
+            with self.metrics.timer("optimizer.ask_seconds"):
+                return self._ask_impl()
+        return self._ask_impl()
+
+    def _ask_impl(self) -> Configuration:
         initial = self._next_initial()
         if initial is not None:
             return initial

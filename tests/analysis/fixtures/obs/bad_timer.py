@@ -1,0 +1,7 @@
+"""Fixture: a bare wall-clock read inside the observability package."""
+
+import time
+
+
+def elapsed():
+    return time.perf_counter()

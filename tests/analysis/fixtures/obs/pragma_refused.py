@@ -1,0 +1,8 @@
+"""Fixture: a justified DET002 pragma in obs/ outside clock.py is refused."""
+
+import time
+
+
+def sneaky_timer():
+    # detlint: allow[DET002] -- looks justified, but obs/ only sanctions clock.py
+    return time.monotonic()

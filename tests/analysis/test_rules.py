@@ -128,6 +128,31 @@ class TestPragmas:
         assert suppressed == 1
 
 
+class TestScopedPragmas:
+    """DET002's exemption surface inside ``obs/`` is one file: ``clock.py``."""
+
+    def test_bare_wall_clock_in_obs_fires(self):
+        found, suppressed = codes_and_lines(FIXTURES / "obs" / "bad_timer.py")
+        assert found == [("DET002", 7)]
+        assert suppressed == 0
+
+    def test_justified_pragma_outside_clock_py_is_refused(self):
+        found, suppressed = codes_and_lines(FIXTURES / "obs" / "pragma_refused.py")
+        assert ("DET002", 8) in found
+        assert suppressed == 0
+
+    def test_clock_py_pragma_still_suppresses(self):
+        found, suppressed = codes_and_lines(FIXTURES / "obs" / "clock.py")
+        assert found == []
+        assert suppressed == 1
+
+    def test_real_clock_shim_is_the_only_obs_suppression(self):
+        shim = REPO_ROOT / "src" / "repro" / "obs" / "clock.py"
+        findings, suppressed = check_file(shim)
+        assert findings == []
+        assert suppressed == 1
+
+
 class TestReport:
     def test_json_report_round_trip(self):
         report = check_paths([FIXTURES / "det001_bad.py", FIXTURES / "det002_bad.py"])

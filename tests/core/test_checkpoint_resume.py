@@ -236,6 +236,32 @@ class TestEventLogStrictness:
         with pytest.raises(ValueError, match="envelope"):
             log.append("submit", seq=42)  # detlint: allow[DET006] -- exercises the reserved-key guard itself
 
+    def test_provenance_sha_is_memoised_across_logs(self, tmp_path):
+        """Two logs from one process share the provenance SHA, and only the
+        first open pays for a ``git rev-parse`` subprocess."""
+        from repro.core import eventlog as eventlog_mod
+
+        first = EventLog(str(tmp_path / "a.jsonl"))
+        first.append("submit", worker="w-0")
+        first.close()
+        memo = eventlog_mod._GIT_SHA_MEMO
+        assert memo is not None  # the first open primed the cache
+
+        def boom():
+            raise AssertionError("memoised SHA must not re-fork git")
+
+        original = eventlog_mod._git_sha_uncached
+        eventlog_mod._git_sha_uncached = boom
+        try:
+            second = EventLog(str(tmp_path / "b.jsonl"))
+            second.append("submit", worker="w-1")
+            second.close()
+        finally:
+            eventlog_mod._git_sha_uncached = original
+        sha_a = EventLog.replay(first.path)[0]["git_sha"]
+        sha_b = EventLog.replay(second.path)[0]["git_sha"]
+        assert sha_a == sha_b == memo
+
     def test_reopen_resyncs_from_the_file_tail(self, tmp_path):
         path = str(tmp_path / "e.jsonl")
         log = EventLog(path)

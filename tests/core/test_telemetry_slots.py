@@ -77,6 +77,51 @@ def test_ring_buffer_window_matches_numpy_on_random_stream():
     assert ring.spilled.total == pytest.approx(float(values[:-32].sum()))
 
 
+def test_spill_summary_merge_equals_observing_both_streams():
+    left, right, reference = SpillSummary(), SpillSummary(), SpillSummary()
+    for value in (2.0, -3.0, 7.0):
+        left.observe(value)
+        reference.observe(value)
+    for value in (11.0, 0.5):
+        right.observe(value)
+        reference.observe(value)
+    left.merge(right)
+    assert left.as_dict() == reference.as_dict()
+    # Merging an empty summary is a no-op in both directions.
+    before = dict(left.as_dict())
+    left.merge(SpillSummary())
+    assert left.as_dict() == before
+    empty = SpillSummary()
+    empty.merge(left)
+    assert empty.as_dict() == before
+
+
+def test_ring_buffer_snapshot_combines_spill_and_window():
+    ring = RingBuffer(4)
+    for value in range(10):
+        ring.append(float(value))
+    snapshot = ring.snapshot()
+    # All-time aggregates: evictions and the buffered window together.
+    assert snapshot["count"] == 10
+    assert snapshot["total"] == sum(range(10))
+    assert snapshot["min"] == 0.0
+    assert snapshot["max"] == 9.0
+    assert snapshot["n_appended"] == 10
+    assert snapshot["n_spilled"] == 6
+    assert snapshot["window"] == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_ring_buffer_snapshot_below_capacity_has_no_spill():
+    ring = RingBuffer(8)
+    for value in (5.0, 1.0):
+        ring.append(value)
+    snapshot = ring.snapshot()
+    assert snapshot["count"] == 2
+    assert snapshot["n_spilled"] == 0
+    assert snapshot["window"] == [5.0, 1.0]
+    assert snapshot["min"] == 1.0 and snapshot["max"] == 5.0
+
+
 def test_ring_buffer_rejects_bad_inputs():
     with pytest.raises(ValueError):
         RingBuffer(0)

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms).
+
+The registry is built on the event loop's bounded telemetry slots, so the
+invariants mirror those: bounded windows, no silent truncation (all-time
+aggregates survive eviction), deterministic exports.  Timers only record
+under an enabled clock — with the default NullClock they are no-ops, which
+is what keeps a registry attached to a study deterministic by construction.
+"""
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullClock
+from repro.obs.metrics import base_name, _key
+
+
+class FakeClock:
+    """Deterministic 'host' clock for timer tests: ticks one second per read."""
+
+    enabled = True
+
+    def __init__(self):
+        self.ticks = 0.0
+
+    def now(self):
+        self.ticks += 1.0
+        return self.ticks
+
+
+class TestKeys:
+    def test_unlabelled_key_is_the_name(self):
+        assert _key("engine.items.submitted", {}) == "engine.items.submitted"
+
+    def test_labels_are_sorted_into_the_key(self):
+        key = _key("loop.busy_hours", {"sku": "m5.xlarge", "region": "eu-west-1"})
+        assert key == "loop.busy_hours{region=eu-west-1,sku=m5.xlarge}"
+
+    def test_base_name_strips_the_label_suffix(self):
+        assert base_name("loop.busy_hours{region=eu-west-1}") == "loop.busy_hours"
+        assert base_name("loop.busy_hours") == "loop.busy_hours"
+
+
+class TestInstruments:
+    def test_counter_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("engine.items.submitted")
+        assert registry.counter("engine.items.submitted") is counter
+        registry.inc("engine.items.submitted")
+        registry.inc("engine.items.submitted", 2.0)
+        assert registry.counter_value("engine.items.submitted") == 3.0
+
+    def test_counters_reject_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("engine.items.submitted", -1.0)
+
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("never.touched") == 0.0
+
+    def test_gauge_holds_the_last_written_level(self):
+        registry = MetricsRegistry()
+        registry.set("scheduler.reserved", 7)
+        registry.set("scheduler.reserved", 3)
+        assert registry.gauge("scheduler.reserved").value == 3.0
+
+    def test_labelled_counters_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("scheduler.placements", region="eu")
+        registry.inc("scheduler.placements", region="us")
+        registry.inc("scheduler.placements", region="us")
+        assert registry.labelled("scheduler.placements") == {
+            "scheduler.placements{region=eu}": 1.0,
+            "scheduler.placements{region=us}": 2.0,
+        }
+
+    def test_histogram_window_is_bounded_but_all_time_is_not(self):
+        registry = MetricsRegistry(window=4)
+        for value in range(10):
+            registry.observe("loop.duration_hours", float(value))
+        histogram = registry.histogram("loop.duration_hours")
+        assert histogram.count == 10
+        summary = histogram.all_time()
+        assert summary.count == 10
+        assert summary.minimum == 0.0
+        assert summary.maximum == 9.0
+        # Quantiles cover the recent window only (the 4 newest values).
+        assert histogram.quantile(0.0) == 6.0
+
+    def test_rollup_merges_all_label_sets(self):
+        registry = MetricsRegistry()
+        registry.observe("loop.busy_hours", 2.0, region="eu")
+        registry.observe("loop.busy_hours", 4.0, region="us")
+        registry.observe("loop.busy_hours", 6.0, region="us")
+        combined = registry.rollup("loop.busy_hours")
+        assert combined.count == 3
+        assert combined.total == 12.0
+        assert combined.minimum == 2.0
+        assert combined.maximum == 6.0
+
+    def test_registry_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(window=0)
+
+
+class TestTimers:
+    def test_timer_is_a_noop_under_the_null_clock(self):
+        registry = MetricsRegistry(clock=NullClock())
+        with registry.timer("optimizer.ask_seconds"):
+            pass
+        # Nothing was recorded: no histogram was even created.
+        assert len(registry) == 0
+
+    def test_timer_records_under_an_enabled_clock(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with registry.timer("optimizer.ask_seconds"):
+            pass
+        histogram = registry.histogram("optimizer.ask_seconds")
+        assert histogram.count == 1
+        assert histogram.all_time().total == 1.0  # two ticks, one apart
+
+    def test_timer_records_even_when_the_block_raises(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with registry.timer("optimizer.refit_seconds"):
+                raise RuntimeError("surrogate exploded")
+        assert registry.histogram("optimizer.refit_seconds").count == 1
+
+
+class TestExport:
+    def test_as_dict_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.inc("b.counter")
+        registry.inc("a.counter")
+        registry.set("a.gauge", 5.0)
+        registry.observe("a.histogram", 1.0)
+        snapshot = registry.as_dict()
+        assert list(snapshot["counters"]) == ["a.counter", "b.counter"]
+        assert snapshot["gauges"] == {"a.gauge": 5.0}
+        assert snapshot["histograms"]["a.histogram"]["count"] == 1
+        assert "p50" in snapshot["histograms"]["a.histogram"]
+
+    def test_registry_pickles_with_its_contents(self):
+        registry = MetricsRegistry(window=8)
+        registry.inc("engine.items.submitted", 5)
+        registry.set("scheduler.reserved", 2)
+        for value in range(20):
+            registry.observe("loop.duration_hours", float(value))
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.as_dict() == registry.as_dict()
+        assert clone.window == 8
+        # The clone keeps working after the round-trip.
+        clone.inc("engine.items.submitted")
+        assert clone.counter_value("engine.items.submitted") == 6.0

@@ -1,0 +1,131 @@
+"""Unit tests for span tracing and the Chrome trace-event export.
+
+Spans live in simulated hours; the recorder is memory-bounded (oldest
+closed spans drop with a tally, never silently); the offline builder
+understands both current logs (with ``submitted``/``cancel`` records) and
+pre-observability logs (graceful fallbacks).
+"""
+
+import json
+
+from repro.obs import Span, TraceRecorder, spans_from_events, to_chrome_trace
+from repro.obs.tracing import MICROSECONDS_PER_HOUR
+
+
+def make_recorder():
+    recorder = TraceRecorder()
+    recorder.begin(0, "w0", "run", submitted=0.0, start=0.0, config="abc123")
+    recorder.begin(1, "w1", "run", submitted=0.0, start=0.5, config="def456")
+    recorder.end(0, 2.0, "complete", value=41.5)
+    recorder.end(1, 3.0, "fail", fault="crash")
+    return recorder
+
+
+class TestRecorder:
+    def test_spans_are_ordered_and_carry_outcomes(self):
+        spans = make_recorder().spans()
+        assert [(s.item, s.outcome) for s in spans] == [
+            (0, "complete"),
+            (1, "fail"),
+        ]
+        assert spans[0].value == 41.5
+        assert spans[0].duration_hours == 2.0
+        assert spans[1].fault == "crash"
+        assert spans[1].wait_hours == 0.5
+
+    def test_open_spans_are_reported_after_closed_ones(self):
+        recorder = make_recorder()
+        recorder.begin(2, "w0", "retry", submitted=2.0, start=2.5)
+        spans = recorder.spans()
+        assert recorder.n_open == 1
+        assert recorder.n_closed == 2
+        assert spans[-1].item == 2
+        assert spans[-1].end is None and spans[-1].duration_hours is None
+
+    def test_ending_an_unknown_item_is_ignored(self):
+        recorder = TraceRecorder()
+        recorder.end(99, 1.0, "complete")  # attached mid-run; item predates us
+        assert recorder.n_closed == 0
+
+    def test_closed_spans_are_bounded_with_a_drop_tally(self):
+        recorder = TraceRecorder(max_spans=2)
+        for item in range(4):
+            recorder.begin(item, "w0", "run", submitted=0.0, start=float(item))
+            recorder.end(item, float(item) + 1.0, "complete")
+        assert recorder.n_closed == 2
+        assert recorder.n_dropped == 2
+        assert [s.item for s in recorder.spans()] == [2, 3]
+
+
+class TestOfflineBuilder:
+    def test_rebuilds_spans_from_engine_events(self):
+        events = [
+            {"kind": "open"},
+            {
+                "kind": "submit",
+                "item": 0,
+                "worker": "w0",
+                "t": 0.5,
+                "submitted": 0.0,
+                "config": "abc123",
+            },
+            {"kind": "complete", "item": 0, "worker": "w0", "t": 2.0, "value": 7.5},
+            {"kind": "retry", "item": 1, "worker": "w1", "t": 2.5, "submitted": 2.0},
+            {"kind": "fail", "item": 1, "worker": "w1", "t": 3.0, "fault": "crash"},
+            {"kind": "speculate", "item": 2, "worker": "w2", "t": 3.0, "submitted": 3.0},
+            {"kind": "cancel", "item": 2, "worker": "w2", "t": 3.5},
+        ]
+        spans = spans_from_events(events)
+        assert [(s.item, s.kind, s.outcome) for s in spans] == [
+            (0, "run", "complete"),
+            (1, "retry", "fail"),
+            (2, "speculative", "cancel"),
+        ]
+        assert spans[0].submitted == 0.0 and spans[0].wait_hours == 0.5
+        assert spans[0].value == 7.5
+        assert spans[1].fault == "crash"
+
+    def test_pre_observability_logs_degrade_gracefully(self):
+        # No ``submitted`` field, no cancel record: submitted falls back to
+        # the start instant and the second span simply stays open.
+        events = [
+            {"kind": "submit", "item": 0, "worker": "w0", "t": 1.5},
+            {"kind": "complete", "item": 0, "worker": "w0", "t": 2.0},
+            {"kind": "submit", "item": 1, "worker": "w1", "t": 1.5},
+        ]
+        spans = spans_from_events(events)
+        assert spans[0].submitted == 1.5 and spans[0].wait_hours == 0.0
+        assert spans[1].end is None and spans[1].outcome is None
+
+
+class TestChromeTrace:
+    def test_trace_structure_and_time_scaling(self):
+        spans = [
+            Span(0, "w0", "run", 0.0, 0.5, end=2.5, outcome="complete",
+                 config="abc123", value=9.0),
+            Span(1, "w1", "retry", 1.0, 1.5, end=3.0, outcome="fail",
+                 fault="crash"),
+            Span(2, "w0", "run", 3.0, 3.5),  # still open: skipped, counted
+        ]
+        trace = to_chrome_trace(spans)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [m["args"]["name"] for m in meta] == ["w0", "w1"]
+        assert len(complete) == 2
+        first = complete[0]
+        assert first["ts"] == 0.5 * MICROSECONDS_PER_HOUR
+        assert first["dur"] == 2.0 * MICROSECONDS_PER_HOUR
+        assert first["args"]["value"] == 9.0
+        assert first["name"] == "run:abc123"
+        assert complete[1]["args"]["fault"] == "crash"
+        assert trace["otherData"]["n_spans"] == 2
+        assert trace["otherData"]["n_open_spans"] == 1
+        assert trace["otherData"]["n_workers"] == 2
+        # Both workers share one pid; tids are distinct tracks.
+        assert {e["pid"] for e in trace["traceEvents"]} == {0}
+        assert {e["tid"] for e in complete} == {0, 1}
+
+    def test_trace_is_json_serialisable(self):
+        trace = to_chrome_trace(make_recorder().spans())
+        parsed = json.loads(json.dumps(trace))
+        assert parsed["otherData"]["n_spans"] == 2

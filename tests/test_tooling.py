@@ -99,6 +99,41 @@ def test_bench_gates_are_wired_into_make_and_ci():
     )
 
 
+def test_obs_bench_gate_is_wired_into_make_and_ci():
+    """`make bench-obs` exists, its runner exists, CI runs it, the compare
+    gate guards its artifact, and the example run report reaches the job
+    summary — an overhead gate nobody runs guards nothing."""
+    with open(os.path.join(REPO_ROOT, "Makefile")) as fh:
+        makefile = fh.read()
+    assert re.search(r"^bench-obs:", makefile, re.MULTILINE)
+    assert "make bench-obs" in makefile  # help header documents the target
+    assert os.path.exists(os.path.join(TOOLS_DIR, "run_obs_bench.sh"))
+    # The perf-trajectory gate tracks the obs artifact's guarded metrics.
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", os.path.join(TOOLS_DIR, "bench_compare.py")
+    )
+    bench_compare = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_compare)
+    assert bench_compare.GUARDED["BENCH_OBS.json"] == {
+        "enabled_overhead_frac": "ceiling",
+        "disabled_overhead_frac": "ceiling",
+        "trajectory_identical": "flag",
+    }
+    baseline = os.path.join(
+        REPO_ROOT, "benchmarks", "baselines", "BENCH_OBS.json"
+    )
+    assert os.path.exists(baseline), "bench-compare needs a committed baseline"
+
+    with open(os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")) as fh:
+        ci = fh.read()
+    assert "make bench-obs" in ci, "CI must run the observability gate"
+    assert "RUN_REPORT.md" in ci, (
+        "CI must publish the example run report to the job summary"
+    )
+
+
 def test_ci_workflow_is_hardened():
     """Concurrency cancellation, job timeouts and the unit-test version
     matrix — CI hygiene the workflow must not silently lose."""

@@ -61,6 +61,11 @@ GUARDED = {
         "scale_events_per_sec": "rate",
         "makespan_identical": "flag",
     },
+    "BENCH_OBS.json": {
+        "enabled_overhead_frac": "ceiling",
+        "disabled_overhead_frac": "ceiling",
+        "trajectory_identical": "flag",
+    },
 }
 
 
