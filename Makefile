@@ -11,12 +11,13 @@
 #   make bench-hetero     heterogeneous-fleet placement microbenchmark
 #   make bench-straggler  speculative re-execution under injected stragglers
 #   make bench-resilience crash recovery + durable checkpointing microbenchmark
+#   make bench-graydeg    gray-failure tolerance (leases/fencing/quarantine) microbenchmark
 #   make bench-eventloop  event-loop scale microbenchmark (10k workers / 1M events)
 #   make bench-obs        observability overhead gate + RUN_REPORT.md artifact
 #   make bench-compare    diff fresh BENCH_*.json against benchmarks/baselines
 #   make bench            all figure benchmarks (writes BENCH_*.json)
 
-.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience bench-eventloop bench-obs bench-compare
+.PHONY: test test-fast lint lint-det typecheck bench bench-surrogate bench-forest-fit bench-async bench-hetero bench-straggler bench-resilience bench-graydeg bench-eventloop bench-obs bench-compare
 
 test:
 	./tools/run_tier1.sh
@@ -50,6 +51,9 @@ bench-straggler:
 
 bench-resilience:
 	./tools/run_resilience_bench.sh
+
+bench-graydeg:
+	./tools/run_graydeg_bench.sh
 
 bench-eventloop:
 	./tools/run_eventloop_bench.sh

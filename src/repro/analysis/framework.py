@@ -189,8 +189,9 @@ class Rule:
 
     Subclasses set ``code``/``title``/``rationale`` and implement any of the
     ``visit_Call`` / ``visit_For`` / ``visit_comprehension`` / ``visit_Dict``
-    hooks.  Hooks are generators of :class:`Finding`; the driver calls them
-    for every matching node of every file the rule applies to.
+    / ``visit_ExceptHandler`` hooks.  Hooks are generators of
+    :class:`Finding`; the driver calls them for every matching node of every
+    file the rule applies to.
     """
 
     code: str = "DET999"
@@ -223,6 +224,11 @@ class Rule:
         return iter(())
 
     def visit_Dict(self, node: ast.Dict, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: FileContext
+    ) -> Iterator[Finding]:
         return iter(())
 
     def finding(self, node: ast.AST, ctx: FileContext, message: str) -> Finding:
@@ -313,6 +319,9 @@ def check_file(
         elif isinstance(node, ast.Dict):
             for rule in active:
                 raw.extend(rule.visit_Dict(node, ctx))
+        elif isinstance(node, ast.ExceptHandler):
+            for rule in active:
+                raw.extend(rule.visit_ExceptHandler(node, ctx))
 
     pragmas = parse_pragmas(lines)
     rule_by_code = {rule.code: rule for rule in rules}

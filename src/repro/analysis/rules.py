@@ -16,6 +16,9 @@ Scoping conventions (see :class:`~repro.analysis.framework.FileContext`):
   modules);
 * DET006 fires everywhere except ``core/eventlog.py`` itself, the only
   module allowed to mint the log envelope.
+* DET007 only fires on the failure-handling subsystems (``core``/``faults``
+  trees): a swallowed exception there turns an injected fault into silent
+  trajectory divergence.
 """
 
 from __future__ import annotations
@@ -438,6 +441,63 @@ class EventLogEnvelopeMisuse(Rule):
                 "hand-built event-log envelope record ({'seq': ..., 'kind': "
                 "...}) — only core/eventlog.py mints the envelope; go "
                 "through EventLog.append",
+            )
+
+
+@register
+class SwallowedException(Rule):
+    """DET007: bare/blanket exception swallowing in failure-handling code."""
+
+    code = "DET007"
+    title = "swallowed exception in failure-handling code"
+    rationale = (
+        "A bare `except:` (or an `except Exception:` whose body is only "
+        "`pass`) in `core/` or `faults/` silently eats the very faults the "
+        "subsystem exists to surface: an injected crash or a bookkeeping "
+        "bug becomes invisible trajectory divergence instead of a loud "
+        "failure.  Catch the specific exception, or handle and re-raise."
+    )
+
+    #: Handler types broad enough to swallow injected faults wholesale.
+    _BLANKET_NAMES = frozenset({"Exception", "BaseException"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.has_part("core", "faults") and not ctx.is_test_code
+
+    def _is_blanket(self, type_node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_blanket(elt, ctx) for elt in type_node.elts)
+        name = ctx.imports.resolve(type_node)
+        return name in self._BLANKET_NAMES
+
+    @staticmethod
+    def _body_is_noop(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or bare `...`
+            return False
+        return True
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                node,
+                ctx,
+                "bare `except:` catches everything (KeyboardInterrupt "
+                "included) — name the exception(s) this handler is for",
+            )
+            return
+        if self._is_blanket(node.type, ctx) and self._body_is_noop(node.body):
+            yield self.finding(
+                node,
+                ctx,
+                "`except Exception: pass` swallows injected faults and "
+                "bookkeeping bugs without a trace — handle the specific "
+                "exception, or log and re-raise",
             )
 
 

@@ -21,6 +21,12 @@ design section:
   structures) and :mod:`repro.core.telemetry_slots` (bounded telemetry);
   :mod:`repro.core.loop_reference` retains the linear-scan loop the indexed
   one is equivalence-tested and benchmarked against.
+* :mod:`repro.core.liveness` / :mod:`repro.core.validation` — gray-failure
+  tolerance: simulated-time liveness leases with epoch fencing (silent
+  workers are *suspected*, their stale reports rejected as zombies) and the
+  result-quarantine gate that keeps NaN/Inf/out-of-domain measurements away
+  from the optimizer (the silence models live in
+  :mod:`repro.faults.partition`).
 * :mod:`repro.core.samplers` — the full TUNA pipeline plus the baselines it
   is compared against (traditional single-node sampling and naive
   distributed sampling, §6).
@@ -39,6 +45,7 @@ from repro.core.async_engine import (
 from repro.core.datastore import Datastore, Sample
 from repro.core.eventlog import EventLog, EventLogError
 from repro.core.execution import ExecutionEngine
+from repro.core.liveness import GrayStats, LivenessMonitor
 from repro.core.loop_reference import ScanEventLoop
 from repro.core.multi_fidelity import SuccessiveHalvingSchedule
 from repro.core.noise_adjuster import NoiseAdjuster
@@ -60,19 +67,39 @@ from repro.core.tuner import (
     TuningResult,
     deploy_configuration,
 )
+from repro.core.validation import (
+    CORRUPTION_MODELS,
+    CorruptionContext,
+    CorruptionDecision,
+    CorruptionModel,
+    CorruptResultModel,
+    NoCorruptionModel,
+    ResultValidator,
+    build_corruption_model,
+    build_validator,
+)
 from repro.core.worker_index import WorkerIndex
 
 __all__ = [
     "AggregationPolicy",
     "AsyncExecutionEngine",
+    "CORRUPTION_MODELS",
     "ClusterEventLoop",
+    "CorruptResultModel",
+    "CorruptionContext",
+    "CorruptionDecision",
+    "CorruptionModel",
     "Datastore",
     "EventLog",
     "EventLogError",
+    "GrayStats",
     "IterationReport",
+    "build_corruption_model",
     "build_sampler",
+    "build_validator",
     "DeploymentResult",
     "ExecutionEngine",
+    "LivenessMonitor",
     "LoopTelemetry",
     "RetryPolicy",
     "RingBuffer",
@@ -81,8 +108,10 @@ __all__ = [
     "StudyInterrupted",
     "MultiFidelityTaskScheduler",
     "NaiveDistributedSampler",
+    "NoCorruptionModel",
     "NoiseAdjuster",
     "OutlierDetector",
+    "ResultValidator",
     "Sample",
     "Sampler",
     "SuccessiveHalvingSchedule",

@@ -47,6 +47,23 @@ driver and optimizer always see exactly one result per slot.  The
 ``"none"`` crash model (or no model, or no retry policy) is structurally
 inert, exactly like the duration models.
 
+Gray failures ride the same contract once more: an optional
+:class:`~repro.faults.PartitionModel` delays work items' *terminal reports*
+(stalls, partitions, flaky reconnects) on seeded per-worker streams, and
+``lease_timeout_hours`` arms a
+:class:`~repro.core.liveness.LivenessMonitor` — every assignment carries a
+monotone lease epoch, silence outliving the lease *suspects* the worker
+(not dead: its queue stays held), fences the epoch and re-submits the slot
+through the retry path; the stale report is rejected as a ``zombie`` at its
+pop, never evaluated.  A :class:`~repro.core.validation.ResultValidator`
+quarantines NaN/Inf/out-of-domain objective values before they can reach
+the optimizer (re-measured under the retry budget, then surfaced as the
+crash penalty), and
+:class:`~repro.core.validation.CorruptResultModel` is the matching seeded
+injector.  The ``"none"`` partition/corruption models, an armed monitor
+with no silence, and a validator on clean values are all structurally
+inert.
+
 Scale: the loop's bookkeeping is *indexed*, not scanned.  Per-worker clocks
 live in a NumPy array behind :class:`~repro.core.worker_index.WorkerIndex`,
 idle-worker lookup and placement ranking are O(log n) heap queries (a
@@ -86,7 +103,15 @@ from repro.configspace import Configuration
 from repro.core.datastore import Sample
 from repro.core.eventlog import config_digest
 from repro.core.execution import ExecutionEngine
+from repro.core.liveness import GrayStats, LivenessMonitor
 from repro.core.telemetry_slots import LoopTelemetry
+from repro.core.validation import (
+    CorruptionContext,
+    CorruptionModel,
+    ResultValidator,
+    build_corruption_model,
+    build_validator,
+)
 from repro.core.worker_index import WorkerIndex
 from repro.faults import (
     CrashContext,
@@ -94,11 +119,15 @@ from repro.faults import (
     CrashStats,
     FaultContext,
     FaultModel,
+    PartitionContext,
+    PartitionModel,
+    PartitionStats,
     SpeculationPolicy,
     SpeculationStats,
     StragglerDetector,
     build_crash_model,
     build_fault_model,
+    build_partition_model,
 )
 
 if TYPE_CHECKING:  # avoid import cycles; annotations only
@@ -174,6 +203,16 @@ class WorkItem:
     rescheduled there) and is never evaluated; ``retried`` marks a recovery
     resubmission of a failed slot, and ``done`` an item whose completion
     event has already popped (such items can no longer be cancelled).
+
+    Gray failures: ``delayed`` marks an item whose terminal report a
+    partition model held back by ``delay_hours`` (``finish_hours`` is the
+    *observed* report time; ``partition_kind`` names the hazard);
+    ``silent_at`` is the last simulated instant a heartbeat was heard
+    (equal to ``finish_hours`` for responsive items).  ``epoch`` is the
+    item's lease epoch when a liveness monitor is armed, and ``fenced``
+    marks an item whose lease expired: the slot was re-submitted under a
+    new epoch, and this item's eventual report is a *zombie* — rejected at
+    its pop, never evaluated.
     """
 
     request: WorkRequest
@@ -189,6 +228,12 @@ class WorkItem:
     failure_kind: str = ""
     retried: bool = False
     done: bool = False
+    delayed: bool = False
+    delay_hours: float = 0.0
+    silent_at: float = 0.0
+    partition_kind: str = ""
+    epoch: int = 0
+    fenced: bool = False
 
 
 class ClusterEventLoop:
@@ -223,11 +268,21 @@ class ClusterEventLoop:
         crash_model: "CrashModel | str | None" = None,
         telemetry_window: int = 4096,
         metrics: "Optional[MetricsRegistry]" = None,
+        partition_model: "PartitionModel | str | None" = None,
+        liveness: Optional[LivenessMonitor] = None,
     ) -> None:
         self.cluster = cluster
         self.lockstep = lockstep
         self.fault_model = build_fault_model(fault_model)
         self.crash_model = build_crash_model(crash_model)
+        #: Optional gray-failure silence injection (report delays) and the
+        #: lease monitor that turns persistent silence into suspicions.
+        #: Both follow the ``"none"`` discipline: an inert partition model
+        #: draws no RNG and delays nothing, and without delays an armed
+        #: monitor schedules no suspicions — bit-for-bit the plain loop.
+        self.partition_model = build_partition_model(partition_model)
+        self.liveness = liveness
+        self.partition_stats = PartitionStats()
         #: Optional observability registry.  Purely additive: every use is
         #: guarded by ``is not None`` and only increments instruments, so an
         #: attached registry is trajectory-inert (the ``fault_model="none"``
@@ -324,7 +379,8 @@ class ClusterEventLoop:
             stretch=stretch,
             speculative=speculative,
         )
-        if vm.vm_id in self._dead:
+        dead_on_arrival = vm.vm_id in self._dead
+        if dead_on_arrival:
             # The worker's death was decided by an earlier submission but is
             # only *observed* when that failure event pops; work routed here
             # in the window between the two errors out instantly at its
@@ -357,9 +413,40 @@ class ClusterEventLoop:
                 if decision.worker_dead:
                     self._dead[vm.vm_id] = fail_at
                     self._workers.kill(worker_idx)
+        item.silent_at = finish
+        if (
+            self.partition_model is not None
+            and not self.partition_model.is_null
+            and not dead_on_arrival
+        ):
+            # Gray failures delay the item's *terminal report* — completion
+            # and failure alike — and may silence the worker earlier.  The
+            # orchestrator's view is pessimistic: the worker's queue is held
+            # until the delayed report (work is never routed to a node that
+            # cannot be heard from), and the report's pop time moves to the
+            # delivery instant.  Dead-on-arrival submissions skip the draw
+            # (streams are per-worker, so positions stay deterministic).
+            partition = self.partition_model.decide(
+                PartitionContext(
+                    worker_id=vm.vm_id,
+                    start_hours=start,
+                    duration_hours=finish - start,
+                    speculative=speculative,
+                )
+            )
+            if partition.delayed:
+                item.delayed = True
+                item.delay_hours = partition.delay_hours
+                item.partition_kind = partition.kind
+                item.silent_at = start + partition.silent_fraction * (finish - start)
+                finish += partition.delay_hours
+                item.finish_hours = finish
+                self.partition_stats.record(partition)
         self._workers.set_free_at(worker_idx, finish)
         heapq.heappush(self._events, (finish, self._sequence, item))
         self._sequence += 1
+        if self.liveness is not None:
+            self.liveness.grant(item)
         self.telemetry.record_submit()
         if self._metrics is not None:
             self._m_submitted.inc()
@@ -450,6 +537,8 @@ class ClusterEventLoop:
             self._workers.set_free_at(
                 worker_idx, max(item.start_hours, min(self.now, item.finish_hours))
             )
+        if self.liveness is not None:
+            self.liveness.settle(item.sequence)
         self.telemetry.record_cancel()
         if self._metrics is not None:
             self._m_cancelled.inc()
@@ -472,6 +561,29 @@ class ClusterEventLoop:
         if hours > self.now:
             self.now = hours
 
+    # -- liveness --------------------------------------------------------------
+    def poll_suspicion(self) -> Optional[WorkItem]:
+        """Fire the next lease expiry preceding the next completion, if any.
+
+        Like straggler crossings, a lease expiry is a *detection event*: it
+        happens at the simulated instant the silence outlives the lease,
+        which generally falls between completions.  The clock advances to
+        the expiry, the item's epoch is fenced (its eventual report pops as
+        a zombie and is rejected), and the item is returned for the engine
+        to re-submit the slot under a new epoch.  One suspicion per call,
+        in deterministic ``(deadline, epoch)`` order; ``None`` when no
+        lease expires before the next completion.
+        """
+        if self.liveness is None:
+            return None
+        expiry = self.liveness.next_suspicion_before(self.peek_finish())
+        if expiry is None:
+            return None
+        deadline, item = expiry
+        self.advance_now(deadline)
+        item.fenced = True
+        return item
+
     # -- completions ----------------------------------------------------------
     def next_completion(self) -> WorkItem:
         """Pop the earliest pending live completion and advance ``now`` to it.
@@ -488,16 +600,23 @@ class ClusterEventLoop:
             raise RuntimeError("no work in flight")
         finish, _, item = heapq.heappop(self._events)
         self.now = max(self.now, finish)
-        if not item.failed:
+        if not item.failed and not item.fenced:
+            # A fenced item's report is a stale observation, not delivered
+            # work: like a failure it advances only ``now`` — the slot's
+            # wall-clock is defined by its re-submission's real completion.
             self.makespan = max(self.makespan, finish)
         item.done = True
-        if item.failed:
+        if self.liveness is not None:
+            self.liveness.settle(item.sequence)
+        if item.failed or item.fenced:
             self.telemetry.record_fail()
         else:
             self.telemetry.record_complete(finish, finish - item.start_hours)
         if self._metrics is not None:
             vm = item.vm
-            if item.failed:
+            if item.fenced:
+                self._metrics.inc("loop.items.zombie")
+            elif item.failed:
                 self._m_failed.inc()
             else:
                 self._m_completed.inc()
@@ -551,6 +670,10 @@ class AsyncExecutionEngine:
         config_exclusion_capacity: int = 65536,
         metrics: "Optional[MetricsRegistry]" = None,
         tracer: "Optional[TraceRecorder]" = None,
+        partition_model: "PartitionModel | str | None" = None,
+        lease_timeout_hours: Optional[float] = None,
+        validation: "ResultValidator | bool | None" = None,
+        corruption_model: "CorruptionModel | str | None" = None,
     ) -> None:
         if config_exclusion_capacity < 1:
             raise ValueError("config_exclusion_capacity must be >= 1")
@@ -559,6 +682,8 @@ class AsyncExecutionEngine:
         self.lockstep = lockstep
         fault_model = build_fault_model(fault_model)
         crash_model = build_crash_model(crash_model)
+        partition_model = build_partition_model(partition_model)
+        corruption_model = build_corruption_model(corruption_model)
         if speculation is True:
             speculation = SpeculationPolicy()
         elif speculation is False:
@@ -576,13 +701,40 @@ class AsyncExecutionEngine:
                     "crash injection is not supported in lockstep mode "
                     "(it is the bit-for-bit equivalence gate)"
                 )
+            if partition_model is not None and not partition_model.is_null:
+                raise ValueError(
+                    "partition injection is not supported in lockstep mode "
+                    "(it is the bit-for-bit equivalence gate)"
+                )
+            if corruption_model is not None and not corruption_model.is_null:
+                raise ValueError(
+                    "result corruption is not supported in lockstep mode "
+                    "(it is the bit-for-bit equivalence gate)"
+                )
+        if lease_timeout_hours is not None and lease_timeout_hours <= 0:
+            raise ValueError("lease_timeout_hours must be positive")
+        liveness = (
+            LivenessMonitor(lease_timeout_hours)
+            if lease_timeout_hours is not None
+            else None
+        )
         self.loop = ClusterEventLoop(
             cluster,
             lockstep=lockstep,
             fault_model=fault_model,
             crash_model=crash_model,
             metrics=metrics,
+            partition_model=partition_model,
+            liveness=liveness,
         )
+        #: Gray-failure attachments: the result-quarantine gate between the
+        #: engine and the optimizer, the seeded corruption injector that
+        #: exercises it, and the run's suspicion/fencing/quarantine tallies.
+        #: A validator on a clean run rejects nothing (inert); the ``"none"``
+        #: corruption model draws no RNG.
+        self._validator = build_validator(validation)
+        self._corruption_model = corruption_model
+        self.gray_stats = GrayStats()
         #: Optional observability instruments (``is not None``-guarded and
         #: write-only, so attaching them is trajectory-inert).
         self._metrics = metrics
@@ -788,6 +940,23 @@ class AsyncExecutionEngine:
             sample.details["fault_stretch"] = item.stretch
         if item.speculative:
             sample.details["speculative"] = True
+        if self._corruption_model is not None and not self._corruption_model.is_null:
+            # Gray-failure garbage injection: the measurement happened (its
+            # RNG was consumed above, keeping the measurement streams
+            # aligned with clean runs), but the *reported* value is trash.
+            # The true value rides along in the details for auditability.
+            corruption = self._corruption_model.decide(
+                CorruptionContext(
+                    worker_id=vm.vm_id,
+                    start_hours=item.start_hours,
+                    duration_hours=item.finish_hours - item.start_hours,
+                    speculative=item.speculative,
+                )
+            )
+            if corruption.corrupted:
+                sample.details["corrupt_result"] = corruption.kind
+                sample.details["true_value"] = sample.value
+                sample.value = corruption.apply(sample.value)
         item.sample = sample
         return sample
 
@@ -816,10 +985,26 @@ class AsyncExecutionEngine:
         the slot is retried on another worker (or surfaced as a
         crash-penalty sample once the budget is exhausted), so the driver
         still observes exactly one result per slot.
+
+        Gray failures branch here too: lease expiries fire as detection
+        events *before* the next completion (the suspected slot re-enters
+        the retry path under a new epoch), a fenced item's eventual report
+        is rejected as a zombie without ever being evaluated, and an
+        evaluated sample that fails validation is quarantined instead of
+        landing — so no stale or garbage result can reach the optimizer.
         """
         self._speculate_at_crossings()
+        suspected = self.loop.poll_suspicion()
+        if suspected is not None:
+            result = self._handle_suspicion(suspected)
+            self._maybe_speculate()
+            return result
         item = self.loop.next_completion()
         self._live.pop(item.sequence, None)
+        if item.fenced:
+            self._handle_zombie(item)
+            self._maybe_speculate()
+            return None
         if item.failed:
             result = self._handle_failure(item)
             self._maybe_speculate()
@@ -836,8 +1021,13 @@ class AsyncExecutionEngine:
                 if original.retried and self._scheduler is not None:
                     # Retried originals hold engine-owned reservations.
                     self._scheduler.release([original.vm.vm_id])
-            self._attempts.pop(original_seq, None)
-            self._failed_original.pop(original_seq, None)
+            # The slot's retry count survives into quarantine re-measures
+            # (whichever bookkeeping held it: a plain retry chain, or a
+            # failed original whose duplicates were still racing).
+            slot_attempts = max(
+                self._attempts.pop(original_seq, None) or 0,
+                self._failed_original.pop(original_seq, None) or 0,
+            )
             self._forget_slot(original_seq)
             self.stats.n_duplicate_wins += 1
             if self._scheduler is not None:
@@ -845,11 +1035,17 @@ class AsyncExecutionEngine:
         else:
             # The original finished first after all: cancel its duplicates.
             self._cancel_clones_of(item.sequence)
-            self._attempts.pop(item.sequence, None)
+            slot_attempts = self._attempts.pop(item.sequence, None) or 0
             self._forget_slot(item.sequence)
             if item.retried and self._scheduler is not None:
                 self._scheduler.release([item.vm.vm_id])
         sample = self._evaluate(item)
+        if self._validator is not None:
+            reason = self._validator.check(sample.value)
+            if reason is not None:
+                result = self._quarantine(item, request_id, slot_attempts, sample, reason)
+                self._maybe_speculate()
+                return result
         if self._detector is not None:
             self._detector.observe(
                 self.execution.work_units(item.vm, item.finish_hours - item.start_hours)
@@ -978,8 +1174,174 @@ class AsyncExecutionEngine:
             return None
         return self._retry_or_exhaust(request_id, item, attempts)
 
+    # -- gray-failure handling -------------------------------------------------
+    def _handle_suspicion(
+        self, item: WorkItem
+    ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
+        """React to a lease expiry: fence the epoch, re-submit the slot.
+
+        Mirrors :meth:`_handle_failure` structurally — the slot re-enters
+        the retry path (or surfaces as a crash-penalty sample on an
+        exhausted budget) — but the worker is only *suspected*, not dead:
+        its queue stays occupied until the silent item's report finally
+        arrives, and that report pops as a fenced zombie.  The clock
+        already sits at the expiry instant (``loop.poll_suspicion``
+        advanced it).
+        """
+        worker_id = item.vm.vm_id
+        suspected_at = self.loop.now
+        self.gray_stats.n_suspected += 1
+        self._live.pop(item.sequence, None)
+        self._log(
+            "suspect",
+            item=item.sequence,
+            config=item.request.config,
+            worker=worker_id,
+            t=suspected_at,
+            epoch=item.epoch,
+            silent_since=item.silent_at,
+            partition=item.partition_kind,
+            speculative=item.speculative,
+        )
+        self._log(
+            "lease_fence",
+            item=item.sequence,
+            worker=worker_id,
+            t=suspected_at,
+            epoch=item.epoch,
+        )
+        if self._metrics is not None:
+            self._metrics.inc("engine.items.suspected")
+            self._metrics.inc("engine.leases.fenced")
+        if self._tracer is not None:
+            self._tracer.end(item.sequence, suspected_at, "suspect")
+        if self._scheduler is not None:
+            # Placement stops offering the silent worker new work until its
+            # stale report drains (the zombie pop restores it).
+            self._scheduler.suspend(worker_id)
+        if item.speculative:
+            # A suspected duplicate: the slot usually still has its original
+            # (or sibling duplicates) racing, so losing it costs nothing.
+            # If the original already failed and this was the last live
+            # copy, the slot is lost and enters recovery — exactly the
+            # failed-duplicate path.
+            request_id = self._request_id_of.pop(item.sequence)
+            original_seq = self._clone_of.pop(item.sequence)
+            siblings = self._clones_of.get(original_seq)
+            if siblings is not None and item.sequence in siblings:
+                siblings.remove(item.sequence)
+                if not siblings:
+                    self._clones_of.pop(original_seq, None)
+            if self._scheduler is not None:
+                self._scheduler.release([worker_id])  # engine-owned
+            if original_seq in self._failed_original and not self._clones_of.get(
+                original_seq
+            ):
+                attempts = self._failed_original.pop(original_seq)
+                self._forget_slot(original_seq)
+                return self._retry_or_exhaust(
+                    request_id, item, attempts, at_hours=suspected_at
+                )
+            return None
+        request_id = self._request_id_of.pop(item.sequence)
+        if item.retried and self._scheduler is not None:
+            self._scheduler.release([worker_id])  # engine-owned
+        attempts = self._attempts.pop(item.sequence, 0)
+        if self._clones_of.get(item.sequence):
+            # Duplicates of the suspected slot are still racing: no retry
+            # yet — whichever copy resolves last decides the slot.
+            self._failed_original[item.sequence] = attempts
+            self._flagged.discard(item.sequence)
+            return None
+        return self._retry_or_exhaust(request_id, item, attempts, at_hours=suspected_at)
+
+    def _handle_zombie(self, item: WorkItem) -> None:
+        """Reject the report of a fenced (stale-epoch) item at its pop.
+
+        The slot was re-submitted under a new epoch when the lease expired;
+        this report — a completed result carried back by a resurrected
+        worker, or a stale failure notice — is deterministically dropped
+        without ever being evaluated, so no measurement RNG is consumed and
+        at most one result per slot can reach the optimizer.  Its per-slot
+        bookkeeping was already torn down at suspicion time.
+        """
+        self.gray_stats.n_zombies_rejected += 1
+        if self._scheduler is not None:
+            # The silent worker finally reported back: it is reachable
+            # again and rejoins the placement pool.
+            self._scheduler.restore(item.vm.vm_id)
+        self._log(
+            "zombie_rejected",
+            item=item.sequence,
+            config=item.request.config,
+            worker=item.vm.vm_id,
+            t=item.finish_hours,
+            epoch=item.epoch,
+            failed=item.failed,
+        )
+        if self._metrics is not None:
+            self._metrics.inc("engine.items.zombie_rejected")
+
+    def _quarantine(
+        self,
+        item: WorkItem,
+        request_id: int,
+        attempts: int,
+        sample: Sample,
+        reason: str,
+    ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
+        """Reject an evaluated sample whose value failed validation.
+
+        The garbage value never reaches the detector, the datastore or the
+        optimizer: the slot is re-measured under the retry budget, and once
+        the budget is exhausted it surfaces as the paper's crash-penalty
+        sample — the same degraded-but-finite signal the fail-stop path
+        produces.
+        """
+        self.gray_stats.n_quarantined += 1
+        self._log(
+            "quarantined",
+            item=item.sequence,
+            config=item.request.config,
+            worker=item.vm.vm_id,
+            t=item.finish_hours,
+            value=str(sample.value),  # NaN/Inf are not valid JSON numbers
+            reason=reason,
+            attempt=attempts,
+        )
+        if self._metrics is not None:
+            self._metrics.inc("engine.samples.quarantined")
+            self._metrics.inc("engine.quarantines", reason=reason)
+        if self._tracer is not None:
+            self._tracer.end(
+                item.sequence, item.finish_hours, "quarantined", reason=reason
+            )
+        retries_before = self.crash_stats.n_retries
+        result = self._retry_or_exhaust(request_id, item, attempts)
+        if self.crash_stats.n_retries > retries_before:
+            self.gray_stats.n_quarantine_retries += 1
+        else:
+            self.gray_stats.n_quarantine_penalized += 1
+        return result
+
+    @property
+    def gray_enabled(self) -> bool:
+        """Whether any gray-failure feature is armed on this engine."""
+        partition = self.loop.partition_model
+        corruption = self._corruption_model
+        return (
+            (partition is not None and not partition.is_null)
+            or self.loop.liveness is not None
+            or self._validator is not None
+            or (corruption is not None and not corruption.is_null)
+        )
+
     def _retry_or_exhaust(
-        self, request_id: int, failed_item: WorkItem, attempts: int
+        self,
+        request_id: int,
+        failed_item: WorkItem,
+        attempts: int,
+        at_hours: Optional[float] = None,
     ) -> Optional[Tuple[WorkRequest, List[Sample]]]:
         """Resubmit a lost slot under the retry policy, or give up on it.
 
@@ -989,14 +1351,20 @@ class AsyncExecutionEngine:
         ``crashed=True`` sample carrying the paper's crash-penalty value, so
         the optimizer is told a real (bad) result instead of waiting forever
         on a lost one.
+
+        ``at_hours`` overrides the instant the loss was decided (default:
+        the failed item's report time).  Lease expiries pass the suspicion
+        instant — the suspected item's ``finish_hours`` is its *future*
+        zombie report, which the retry's backoff must not wait for.
         """
         request = self._request_ids[request_id]
         self._forget_slot(failed_item.sequence)
+        decided_at = failed_item.finish_hours if at_hours is None else at_hours
         policy = self.retry_policy
         if policy is not None and attempts < policy.max_retries:
             vm = self._pick_retry_worker(request.config)
             if vm is not None:
-                not_before = failed_item.finish_hours + policy.delay_hours(attempts)
+                not_before = decided_at + policy.delay_hours(attempts)
                 item = self.loop.submit(
                     request, vm, self.duration_for(vm), not_before=not_before
                 )
@@ -1017,13 +1385,13 @@ class AsyncExecutionEngine:
                     t=item.start_hours,
                     attempt=attempts + 1,
                     failed_worker=failed_item.vm.vm_id,
-                    submitted=failed_item.finish_hours,
+                    submitted=decided_at,
                     region=vm.region.name,
                     sku=vm.sku.name,
                 )
                 if self._metrics is not None:
                     self._metrics.inc("engine.items.retried")
-                self._trace_begin(item, "retry", failed_item.finish_hours)
+                self._trace_begin(item, "retry", decided_at)
                 return None
         self.crash_stats.n_exhausted += 1
         if self._metrics is not None:
@@ -1293,6 +1661,11 @@ class AsyncExecutionEngine:
             if result is not None:
                 completed.append(result)
             next_finish = self.loop.peek_finish()
+            if next_finish is None and not completed:
+                # Everything left in flight was stale: fenced zombie reports
+                # (their slots already landed through re-submissions) drain
+                # without landing anything.  An empty wave, not an error.
+                return completed
             if completed and (next_finish is None or next_finish > self.loop.now):
                 return completed
 

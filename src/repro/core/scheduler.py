@@ -80,6 +80,12 @@ class MultiFidelityTaskScheduler:
         # a dying worker are still released through the normal paths — but
         # never appear in an eligible set again.
         self._dead: set = set()
+        # Workers under an expired liveness lease (gray-failure suspicion).
+        # Reversible, unlike ``_dead``: the worker rejoins the eligible pool
+        # the moment its silent item's report finally drains as a zombie —
+        # queueing fresh work behind a multi-hour silence would otherwise
+        # serialize the study on the one worker everyone gave up on.
+        self._suspended: set = set()
 
     @property
     def n_workers(self) -> int:
@@ -104,6 +110,25 @@ class MultiFidelityTaskScheduler:
     def n_alive(self) -> int:
         """Workers still accepting placements (fleet size minus the dead)."""
         return self.cluster.n_workers - len(self._dead)
+
+    # -- gray-failure suspension ----------------------------------------------
+    def suspend(self, worker_id: str) -> None:
+        """Temporarily drain a worker whose liveness lease expired.
+
+        The worker is only *suspected*, not dead: placement avoids it while
+        it is silent, and :meth:`restore` re-admits it the moment its
+        delayed report arrives.  Idempotent.
+        """
+        if worker_id not in self._reserved:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        self._suspended.add(worker_id)
+
+    def restore(self, worker_id: str) -> None:
+        """Re-admit a suspended worker to the eligible pool (idempotent)."""
+        self._suspended.discard(worker_id)
+
+    def is_suspended(self, worker_id: str) -> bool:
+        return worker_id in self._suspended
 
     # -- in-flight reservations ---------------------------------------------
     def reserve(self, worker_ids: Sequence[str]) -> None:
@@ -140,7 +165,9 @@ class MultiFidelityTaskScheduler:
         return [
             vm
             for vm in self.cluster.workers
-            if vm.vm_id not in used and vm.vm_id not in self._dead
+            if vm.vm_id not in used
+            and vm.vm_id not in self._dead
+            and vm.vm_id not in self._suspended
         ]
 
     # -- placement rankings ---------------------------------------------------

@@ -23,12 +23,20 @@ from repro.core.async_engine import AsyncExecutionEngine, RetryPolicy
 from repro.core.eventlog import EventLog
 from repro.core.execution import ExecutionEngine
 from repro.core.samplers import IterationReport, Sampler
+from repro.core.validation import (
+    CorruptionModel,
+    ResultValidator,
+    build_corruption_model,
+    build_validator,
+)
 from repro.faults import (
     CrashModel,
     FaultModel,
+    PartitionModel,
     SpeculationPolicy,
     build_crash_model,
     build_fault_model,
+    build_partition_model,
 )
 from repro.ml.metrics import coefficient_of_variation, relative_range
 from repro.systems.base import SystemUnderTest
@@ -223,6 +231,12 @@ class TuningLoop:
     checkpoint_every:
         Wave interval between automatic checkpoints (default 1: every wave
         boundary).
+    checkpoint_keep:
+        When set, every checkpoint is additionally hard-linked to a
+        per-wave snapshot (``<checkpoint_path>.w<wave>``) and the snapshot
+        set is pruned to the most recent ``checkpoint_keep`` files — a
+        bounded rolling history.  ``None`` (default) keeps only the single
+        stable checkpoint file.
     stop_after_waves:
         Testing/demo kill switch: raise :class:`StudyInterrupted` once this
         many waves have been processed (after the wave's checkpoint, when
@@ -239,6 +253,46 @@ class TuningLoop:
         ``True`` for a default one) recording a span per work-item
         lifecycle over simulated time, exportable as Chrome trace-event
         JSON.  Same trajectory-inertness contract as ``metrics``.
+    partition_model:
+        Optional gray-failure silence injection: a
+        :class:`~repro.faults.PartitionModel` instance or a registry name
+        (``"none"``, ``"stall"``, ``"partition"``, ``"flaky"``).  Delays a
+        work item's *terminal report* instead of killing its run — the
+        worker keeps computing but goes silent, so only a liveness lease
+        (``lease_timeout``) can tell it apart from a dead one.  Same
+        contract as the fault/crash models: ``"none"`` (and ``None``)
+        reproduce existing trajectories bit-for-bit, any *active* model
+        requires ``batch_size >= 2``.
+    partition_seed:
+        Master seed for a partition model built from a name (ignored when
+        an instance is passed).
+    lease_timeout:
+        Liveness-lease timeout in simulated hours.  When set, every work
+        item carries a monotone lease epoch; a worker silent for longer
+        than the timeout is *suspected*, its slot re-submitted under a new
+        epoch through the retry path, and the stale report — the zombie —
+        deterministically rejected when it eventually arrives.  ``None``
+        (default) disables the monitor; with no active partition model an
+        armed monitor never fires and is trajectory-inert.
+    validation:
+        Result quarantine: a
+        :class:`~repro.core.validation.ResultValidator` instance, or
+        ``True`` for the default (reject NaN/Inf only).  A completed
+        sample failing validation never reaches the optimizer: it is
+        quarantined and re-measured under the slot's retry budget, then
+        surfaced as a crash-penalty sample once the budget is exhausted.
+        On finite in-domain values the gate is bit-for-bit inert.
+    corruption_model:
+        Optional garbage injection exercising the quarantine gate: a
+        :class:`~repro.core.validation.CorruptionModel` instance or a
+        registry name (``"none"``, ``"corrupt_result"``).  Corrupts a
+        seeded fraction of measured values into NaN/Inf/wild readings
+        *after* measurement, so the measurement RNG stays aligned with
+        clean runs.  ``"none"`` (and ``None``) are bit-for-bit inert; any
+        *active* model requires ``batch_size >= 2``.
+    corruption_seed:
+        Master seed for a corruption model built from a name (ignored when
+        an instance is passed).
     """
 
     #: Abort after this many *consecutive* iterations that schedule no new
@@ -265,9 +319,16 @@ class TuningLoop:
         event_log: EventLog | str | os.PathLike | None = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
+        checkpoint_keep: Optional[int] = None,
         stop_after_waves: Optional[int] = None,
         metrics: "MetricsRegistry | bool | None" = None,
         tracer: "TraceRecorder | bool | None" = None,
+        partition_model: PartitionModel | str | None = None,
+        partition_seed: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+        validation: "ResultValidator | bool | None" = None,
+        corruption_model: CorruptionModel | str | None = None,
+        corruption_seed: Optional[int] = None,
     ) -> None:
         if n_iterations is None and wall_clock_hours is None and max_samples is None:
             raise ValueError(
@@ -287,11 +348,18 @@ class TuningLoop:
         self.speculation = speculation if speculation not in (False,) else None
         self.crash_model = build_crash_model(crash_model, seed=crash_seed)
         self.retry_policy = retry_policy
+        self.partition_model = build_partition_model(partition_model, seed=partition_seed)
+        self.lease_timeout = lease_timeout
+        self.validation = build_validator(validation)
+        self.corruption_model = build_corruption_model(
+            corruption_model, seed=corruption_seed
+        )
         if isinstance(event_log, (str, os.PathLike)):
             event_log = EventLog(event_log)
         self.event_log = event_log
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
         self.stop_after_waves = stop_after_waves
         # Observability attachments.  ``True`` means "build me a default";
         # note an *empty* registry is falsy, so the normalisation compares
@@ -336,8 +404,32 @@ class TuningLoop:
                 "sequential and lockstep paths are the bit-for-bit "
                 "equivalence gates and stay uninjected"
             )
+        partition_active = (
+            self.partition_model is not None and not self.partition_model.is_null
+        )
+        if partition_active and (batch_size is None or batch_size < 2):
+            raise ValueError(
+                "an active partition model requires batch_size >= 2: the "
+                "sequential and lockstep paths are the bit-for-bit "
+                "equivalence gates and stay uninjected"
+            )
+        corruption_active = (
+            self.corruption_model is not None and not self.corruption_model.is_null
+        )
+        if corruption_active and (batch_size is None or batch_size < 2):
+            raise ValueError(
+                "an active corruption model requires batch_size >= 2: the "
+                "sequential and lockstep paths are the bit-for-bit "
+                "equivalence gates and stay uninjected"
+            )
+        if lease_timeout is not None and batch_size is None:
+            raise ValueError(
+                "liveness leases live on the asynchronous engine; set batch_size"
+            )
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_keep is not None and checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
         if stop_after_waves is not None and stop_after_waves < 1:
             raise ValueError("stop_after_waves must be >= 1")
         if (checkpoint_path is not None or stop_after_waves is not None) and (
@@ -450,6 +542,10 @@ class TuningLoop:
             speculation=self.speculation,
             crash_model=self.crash_model,
             retry_policy=self.retry_policy,
+            partition_model=self.partition_model,
+            lease_timeout_hours=self.lease_timeout,
+            validation=self.validation,
+            corruption_model=self.corruption_model,
             event_log=self.event_log,
             scheduler=getattr(self.sampler, "scheduler", None),
             used_workers_fn=self.sampler.datastore.workers_used,
@@ -531,6 +627,10 @@ class TuningLoop:
                 # (a single completion — always the case in lockstep mode —
                 # takes the plain single-tell path).
                 wave = engine.next_completed_requests()
+                if not wave:
+                    # Only stale (fenced) zombie reports were left in flight;
+                    # they drained without landing anything — not a wave.
+                    continue
                 if len(wave) == 1:
                     reports = [self.sampler.complete_work(*wave[0])]
                 else:
@@ -567,6 +667,9 @@ class TuningLoop:
             engine_stats.update(engine.stats.as_dict())
         if crash_active:
             engine_stats.update(engine.crash_stats.as_dict())
+        if engine.gray_enabled:
+            engine_stats.update(engine.gray_stats.as_dict())
+            engine_stats.update(engine.loop.partition_stats.as_dict())
         if self.event_log is not None:
             self.event_log.append(
                 "finish",
@@ -598,6 +701,13 @@ class TuningLoop:
         Written via a temp file + :func:`os.replace`, so a kill mid-write
         leaves the previous checkpoint untouched; the sha256 digest recorded
         in the event log lets :meth:`resume` detect truncation/corruption.
+
+        With ``checkpoint_keep=k`` each checkpoint is additionally
+        hard-linked to a per-wave snapshot (``<path>.w<wave>``) and the
+        snapshot set pruned to the most recent ``k`` — a rolling history
+        that lets operators rewind past the latest wave boundary without
+        unbounded disk growth.  The stable ``<path>`` name always points at
+        the newest checkpoint, so :meth:`resume` is unaffected.
         """
         if self.checkpoint_path is None:
             raise RuntimeError("no checkpoint_path configured")
@@ -618,6 +728,13 @@ class TuningLoop:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, path)
+        if self.checkpoint_keep is not None:
+            snapshot = f"{path}.w{self._active_state.wave_index:08d}"
+            if os.path.exists(snapshot):
+                os.remove(snapshot)
+            os.link(path, snapshot)
+            for stale in self._snapshots(path)[: -self.checkpoint_keep]:
+                os.remove(stale)
         if self.event_log is not None:
             self.event_log.append(
                 "checkpoint",
@@ -627,6 +744,22 @@ class TuningLoop:
                 n_samples=self._active_state.samples,
             )
         return path
+
+    @staticmethod
+    def _snapshots(path: str) -> List[str]:
+        """Per-wave snapshot files next to ``path``, oldest first.
+
+        Wave numbers are zero-padded to fixed width, so the lexicographic
+        sort is also the numeric (and therefore chronological) order.
+        """
+        directory = os.path.dirname(path) or "."
+        prefix = os.path.basename(path) + ".w"
+        names = [
+            name
+            for name in os.listdir(directory)
+            if name.startswith(prefix) and name[len(prefix) :].isdigit()
+        ]
+        return [os.path.join(directory, name) for name in sorted(names)]
 
     @classmethod
     def resume(cls, path: str | os.PathLike) -> "TuningLoop":

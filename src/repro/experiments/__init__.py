@@ -16,6 +16,7 @@ module                      paper figures
 ``component_analysis``      Figs. 18, 19, 20
 ``straggler_study``         straggler mitigation (fault injection)
 ``resilience_study``        crash-fault recovery (fail-stop injection)
+``graydeg_study``           gray-failure tolerance (leases/quarantine)
 ==========================  =====================================
 """
 
@@ -42,6 +43,12 @@ from repro.experiments.generalization import (
     ArmSummary,
     ComparisonResult,
     compare_samplers,
+)
+from repro.experiments.graydeg_study import (
+    GrayArm,
+    GrayComparison,
+    format_graydeg_report,
+    run_graydeg_study,
 )
 from repro.experiments.noise_convergence import (
     NoiseConvergenceResult,
@@ -75,6 +82,8 @@ __all__ = [
     "ComparisonResult",
     "DetectionCurve",
     "EqualCostResult",
+    "GrayArm",
+    "GrayComparison",
     "MixedFleetComparison",
     "MixedFleetSummary",
     "NoiseConvergenceResult",
@@ -85,6 +94,7 @@ __all__ = [
     "StragglerComparison",
     "TransferabilityResult",
     "compare_samplers",
+    "format_graydeg_report",
     "format_resilience_report",
     "format_straggler_report",
     "detection_probability_curve",
@@ -94,6 +104,7 @@ __all__ = [
     "run_mixed_fleet_study",
     "run_equal_cost_comparison",
     "run_gp_optimizer_comparison",
+    "run_graydeg_study",
     "run_naive_distributed_comparison",
     "run_noise_adjuster_ablation",
     "run_noise_convergence",

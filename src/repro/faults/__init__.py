@@ -20,10 +20,12 @@ Guarantees:
   many workers exist or in which order they are queried.
 
 See :mod:`repro.faults.models` for the duration models,
-:mod:`repro.faults.straggler` for detection/speculation, and
+:mod:`repro.faults.straggler` for detection/speculation,
 :mod:`repro.faults.crash` for fail-stop crash injection (transient mid-run
-errors, permanent node death) — the same two guarantees hold there, with
-the ``"none"`` crash model as the no-RNG equivalence anchor.
+errors, permanent node death), and :mod:`repro.faults.partition` for
+gray-failure silence injection (stalls, partitions, flaky reconnects —
+reports delayed instead of runs killed) — the same two guarantees hold in
+each, with the ``"none"`` model as the no-RNG equivalence anchor.
 """
 
 from repro.faults.crash import (
@@ -49,6 +51,19 @@ from repro.faults.models import (
     NoFaultModel,
     build_fault_model,
 )
+from repro.faults.partition import (
+    PARTITION_MODELS,
+    CompositePartitionModel,
+    FlakyReconnectModel,
+    NoPartitionModel,
+    PartitionContext,
+    PartitionDecision,
+    PartitionModel,
+    PartitionOutageModel,
+    PartitionStats,
+    StallModel,
+    build_partition_model,
+)
 from repro.faults.straggler import (
     SpeculationPolicy,
     SpeculationStats,
@@ -58,24 +73,35 @@ from repro.faults.straggler import (
 __all__ = [
     "CRASH_MODELS",
     "FAULT_MODELS",
+    "PARTITION_MODELS",
     "BrownoutModel",
     "CompositeCrashModel",
     "CompositeFaultModel",
+    "CompositePartitionModel",
     "CrashContext",
     "CrashDecision",
     "CrashModel",
     "CrashStats",
     "FaultContext",
     "FaultModel",
+    "FlakyReconnectModel",
     "InterferenceBurstModel",
     "LognormalTailModel",
     "NoCrashModel",
     "NodeDeathModel",
     "NoFaultModel",
+    "NoPartitionModel",
+    "PartitionContext",
+    "PartitionDecision",
+    "PartitionModel",
+    "PartitionOutageModel",
+    "PartitionStats",
     "SpeculationPolicy",
     "SpeculationStats",
+    "StallModel",
     "StragglerDetector",
     "TransientCrashModel",
     "build_crash_model",
     "build_fault_model",
+    "build_partition_model",
 ]

@@ -1,0 +1,382 @@
+"""Gray-failure partition models: workers that go silent instead of dying.
+
+The crash models of :mod:`repro.faults.crash` kill runs; the models here
+*delay their reports*.  A :class:`PartitionModel` is consulted by
+:class:`~repro.core.async_engine.ClusterEventLoop` at submission time and
+returns a :class:`PartitionDecision` for the item's scheduled window (after
+any duration stretch and crash rescheduling): either the report arrives on
+time, or the worker goes silent at some instant inside the window and its
+terminal report — completion *or* failure — only reaches the orchestrator
+``delay_hours`` late.  The orchestrator's view of the worker is pessimistic:
+it holds the worker's queue until the delayed report (work is not routed to
+a node that cannot be heard from), and during ``[silent_at, finish]`` no
+heartbeats arrive, which is what the lease monitor in
+:mod:`repro.core.liveness` acts on.  Whether a delayed item becomes a
+*zombie* — given up on, re-submitted under a new lease epoch, its eventual
+report fenced — is decided by the lease timeout, not by the model: silence
+longer than the lease means suspicion, anything shorter is just a late
+result.
+
+Three hazard shapes:
+
+* :class:`StallModel` — the run itself pauses mid-flight (GC storm, I/O
+  hang) and resumes: moderate delays, silence starting at a uniform point
+  of the run.
+* :class:`PartitionOutageModel` — the network partitions: the worker keeps
+  computing and finishes locally, but nothing is heard until the partition
+  heals.  Heavy-tailed delays; the healed report carries a completed
+  result, the classic zombie.
+* :class:`FlakyReconnectModel` — short reconnect blips at report time:
+  small repeated delays that jitter observation order without (normally)
+  tripping any lease.
+
+Determinism contract
+--------------------
+Identical to the crash models: independent seeded RNG streams **per
+worker** (speculative duplicates on channel 1), domain tag 17 so a
+partition model built from the same master seed as a crash/duration model
+stays decorrelated, a fixed number of draws per decision regardless of the
+branch taken, and a :class:`NoPartitionModel` that consumes no randomness
+at all — injecting ``"none"`` reproduces uninjected trajectories
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PartitionContext:
+    """The scheduled window a partition decision is drawn for.
+
+    ``duration_hours`` is the item's *final* scheduled duration — after any
+    duration-model stretch, and up to the failure instant for an item a
+    crash model already killed — so silence onsets land inside the window
+    the event loop actually simulates.  ``speculative`` duplicates draw
+    from a separate per-worker channel, exactly like the other fault
+    domains, so arming speculation never shifts the partition trace of
+    regular work.
+    """
+
+    worker_id: str
+    start_hours: float
+    duration_hours: float
+    speculative: bool = False
+
+    @property
+    def finish_hours(self) -> float:
+        return self.start_hours + self.duration_hours
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """What a partition model decided for one submission.
+
+    ``delay_hours`` is how long after the run's local finish (or failure)
+    the terminal report reaches the orchestrator; ``silent_fraction`` is
+    where inside the scheduled window the last heartbeat was heard (1.0:
+    the worker was responsive right up to its local finish and only the
+    report is late).  The event loop turns these into the item's
+    ``silent_at`` / delayed ``finish_hours``.
+    """
+
+    delayed: bool
+    delay_hours: float = 0.0
+    silent_fraction: float = 1.0
+    kind: str = ""
+
+
+#: The shared "heard from on time" decision (no per-call allocation).
+RESPONSIVE = PartitionDecision(delayed=False)
+
+
+class PartitionModel(abc.ABC):
+    """Base class: seeded per-worker RNG streams + the decision interface."""
+
+    name = "abstract"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = 0 if seed is None else int(seed)
+        self._streams: Dict[Tuple[str, int], np.random.Generator] = {}
+
+    @property
+    def is_null(self) -> bool:
+        """True when the model never delays anything and never consumes RNG."""
+        return False
+
+    def stream_for(self, worker_id: str, channel: int = 0) -> np.random.Generator:
+        """A worker's private partition-RNG stream (lazily derived).
+
+        The entropy mixes the master seed, a stable hash of the worker id,
+        the partition-domain tag 17 (crash models use 13, windowed duration
+        faults 7 — same master seed, decorrelated streams) and the channel:
+        channel 0 carries regular submissions, channel 1 speculative
+        duplicates.
+        """
+        key = (worker_id, channel)
+        stream = self._streams.get(key)
+        if stream is None:
+            entropy = np.random.SeedSequence(
+                [self._seed, zlib.crc32(worker_id.encode("utf-8")), 17, channel]
+            )
+            stream = np.random.default_rng(entropy)
+            self._streams[key] = stream
+        return stream
+
+    def _stream(self, context: PartitionContext) -> np.random.Generator:
+        return self.stream_for(context.worker_id, 1 if context.speculative else 0)
+
+    @abc.abstractmethod
+    def decide(self, context: PartitionContext) -> PartitionDecision:
+        """Decide whether (and how) the submitted run's report is delayed."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(seed={self._seed})"
+
+
+class NoPartitionModel(PartitionModel):
+    """The ``"none"`` model: every report arrives on time, no RNG consumed.
+
+    The gray-failure subsystem's signature guarantee rests on this model:
+    injecting it must reproduce existing trajectories bit-for-bit under the
+    same seeds, which is trivially auditable because it touches nothing.
+    """
+
+    name = "none"
+
+    @property
+    def is_null(self) -> bool:
+        return True
+
+    def decide(self, context: PartitionContext) -> PartitionDecision:
+        return RESPONSIVE
+
+
+class StallModel(PartitionModel):
+    """Mid-run stalls: the run pauses for a window, then resumes.
+
+    With probability ``rate`` a submission stalls for an exponentially
+    distributed window of mean ``mean_stall_hours``, starting at a uniform
+    instant of the run; the run completes (and reports) that much later,
+    and the worker is silent from the stall's onset until the report.
+    Three draws per decision, unconditionally, so the stream position never
+    depends on earlier outcomes.
+    """
+
+    name = "stall"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        rate: float = 0.05,
+        mean_stall_hours: float = 0.25,
+    ) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if mean_stall_hours <= 0:
+            raise ValueError("mean_stall_hours must be positive")
+        self.rate = float(rate)
+        self.mean_stall_hours = float(mean_stall_hours)
+
+    def decide(self, context: PartitionContext) -> PartitionDecision:
+        rng = self._stream(context)
+        hit = rng.random() < self.rate
+        delay = float(rng.exponential(self.mean_stall_hours))
+        fraction = float(rng.random())
+        if not hit:
+            return RESPONSIVE
+        return PartitionDecision(
+            delayed=True,
+            delay_hours=delay,
+            silent_fraction=fraction,
+            kind="stall",
+        )
+
+
+class PartitionOutageModel(PartitionModel):
+    """Network partitions: the worker finishes, the report arrives late.
+
+    With probability ``rate`` the link to the worker drops at a uniform
+    instant of the run and stays down for an exponentially distributed
+    outage of mean ``mean_outage_hours`` *past the local finish* — long
+    enough, typically, to outlive a lease and turn the healed report into
+    a fenced zombie.  Three draws per decision, unconditionally.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        rate: float = 0.03,
+        mean_outage_hours: float = 1.0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if mean_outage_hours <= 0:
+            raise ValueError("mean_outage_hours must be positive")
+        self.rate = float(rate)
+        self.mean_outage_hours = float(mean_outage_hours)
+
+    def decide(self, context: PartitionContext) -> PartitionDecision:
+        rng = self._stream(context)
+        hit = rng.random() < self.rate
+        delay = float(rng.exponential(self.mean_outage_hours))
+        fraction = float(rng.random())
+        if not hit:
+            return RESPONSIVE
+        return PartitionDecision(
+            delayed=True,
+            delay_hours=delay,
+            silent_fraction=fraction,
+            kind="partition",
+        )
+
+
+class FlakyReconnectModel(PartitionModel):
+    """Reconnect blips at report time: short, occasionally repeated delays.
+
+    With probability ``rate`` the report needs between 1 and ``max_blips``
+    delivery attempts, each costing an exponentially distributed blip of
+    mean ``blip_hours``; the worker was responsive through the whole run
+    (``silent_fraction=1.0``), so unless blips stack past the lease
+    timeout the only effect is jittered observation order.  Three draws
+    per decision, unconditionally.
+    """
+
+    name = "flaky"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        rate: float = 0.1,
+        blip_hours: float = 0.02,
+        max_blips: int = 3,
+    ) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if blip_hours <= 0:
+            raise ValueError("blip_hours must be positive")
+        if max_blips < 1:
+            raise ValueError("max_blips must be >= 1")
+        self.rate = float(rate)
+        self.blip_hours = float(blip_hours)
+        self.max_blips = int(max_blips)
+
+    def decide(self, context: PartitionContext) -> PartitionDecision:
+        rng = self._stream(context)
+        hit = rng.random() < self.rate
+        n_blips = int(rng.integers(1, self.max_blips + 1))
+        magnitude = float(rng.exponential(1.0))
+        if not hit:
+            return RESPONSIVE
+        return PartitionDecision(
+            delayed=True,
+            delay_hours=n_blips * self.blip_hours * magnitude,
+            silent_fraction=1.0,
+            kind="flaky",
+        )
+
+
+class CompositePartitionModel(PartitionModel):
+    """Several silence hazards at once: the longest silence dominates.
+
+    Every member model draws unconditionally (fixed stream positions);
+    among the delayed decisions the one with the largest delay wins —
+    overlapping outages do not add, the worker is simply unreachable until
+    the last one heals.  Ties break on member order (deterministic).
+    """
+
+    name = "composite"
+
+    def __init__(self, models: Sequence[PartitionModel]) -> None:
+        if not models:
+            raise ValueError("composite needs at least one model")
+        super().__init__(seed=0)
+        self.models = list(models)
+
+    @property
+    def is_null(self) -> bool:
+        return all(model.is_null for model in self.models)
+
+    def decide(self, context: PartitionContext) -> PartitionDecision:
+        decisions = [model.decide(context) for model in self.models]
+        delayed = [d for d in decisions if d.delayed]
+        if not delayed:
+            return RESPONSIVE
+        return max(delayed, key=lambda d: d.delay_hours)
+
+
+@dataclass
+class PartitionStats:
+    """What the partition machinery injected during a run (loop-side)."""
+
+    n_delayed: int = 0
+    n_stalls: int = 0
+    n_outages: int = 0
+    n_flaky: int = 0
+    total_delay_hours: float = 0.0
+
+    def record(self, decision: PartitionDecision) -> None:
+        self.n_delayed += 1
+        self.total_delay_hours += decision.delay_hours
+        if decision.kind == "stall":
+            self.n_stalls += 1
+        elif decision.kind == "partition":
+            self.n_outages += 1
+        elif decision.kind == "flaky":
+            self.n_flaky += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_delayed": self.n_delayed,
+            "n_stalls": self.n_stalls,
+            "n_outages": self.n_outages,
+            "n_flaky": self.n_flaky,
+            "total_delay_hours": self.total_delay_hours,
+        }
+
+
+#: Known model names for :func:`build_partition_model` (aliases included).
+PARTITION_MODELS = {
+    "none": NoPartitionModel,
+    "stall": StallModel,
+    "partition": PartitionOutageModel,
+    "outage": PartitionOutageModel,
+    "flaky": FlakyReconnectModel,
+    "reconnect": FlakyReconnectModel,
+}
+
+
+def build_partition_model(
+    spec: "PartitionModel | str | None",
+    seed: Optional[int] = None,
+    **kwargs: Any,
+) -> Optional[PartitionModel]:
+    """Instantiate a partition model by name; instances/None pass through.
+
+    ``"none"`` returns a :class:`NoPartitionModel` (injected, but
+    guaranteed to change nothing); ``None`` returns ``None`` (nothing
+    injected at all) — behaviourally identical by construction, mirroring
+    :func:`~repro.faults.crash.build_crash_model`.
+    """
+    if spec is None or isinstance(spec, PartitionModel):
+        return spec
+    name = str(spec).lower()
+    if name not in PARTITION_MODELS:
+        raise KeyError(
+            f"unknown partition model {spec!r}; known: {sorted(PARTITION_MODELS)}"
+        )
+    cls = PARTITION_MODELS[name]
+    if cls is NoPartitionModel:
+        return NoPartitionModel()
+    return cls(seed=seed, **kwargs)

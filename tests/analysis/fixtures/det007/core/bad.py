@@ -1,0 +1,22 @@
+"""DET007 bad fixture: swallowed exceptions in failure-handling code."""
+
+
+def drain(queue):
+    try:
+        return queue.pop()
+    except:
+        return None
+
+
+def observe(callback):
+    try:
+        callback()
+    except Exception:
+        pass
+
+
+def tick(handlers):
+    try:
+        handlers[0]()
+    except (ValueError, BaseException):
+        ...

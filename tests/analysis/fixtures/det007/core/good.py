@@ -1,0 +1,24 @@
+"""DET007 good fixture: specific or genuinely handled exceptions."""
+
+
+def drain(queue):
+    try:
+        return queue.pop()
+    except IndexError:
+        return None
+
+
+def observe(callback, log):
+    try:
+        callback()
+    except Exception:
+        log.append("callback failed")
+        raise
+
+
+def settle(table, key):
+    try:
+        return table[key]
+    except (KeyError, ValueError):
+        pass
+    return None

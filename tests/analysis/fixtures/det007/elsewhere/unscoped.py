@@ -1,0 +1,8 @@
+"""DET007 scoping fixture: outside core/faults the rule does not apply."""
+
+
+def best_effort(callback):
+    try:
+        callback()
+    except Exception:
+        pass

@@ -89,6 +89,20 @@ class TestRuleFixtures:
     def test_det006_good_fixture_is_silent(self):
         assert codes(FIXTURES / "det006_good.py") == []
 
+    def test_det007_bad_fixture_fires(self):
+        found, _ = codes_and_lines(FIXTURES / "det007" / "core" / "bad.py")
+        assert found == [
+            ("DET007", 7),   # bare except
+            ("DET007", 14),  # except Exception: pass
+            ("DET007", 21),  # tuple containing BaseException, body = ...
+        ]
+
+    def test_det007_good_fixture_is_silent(self):
+        assert codes(FIXTURES / "det007" / "core" / "good.py") == []
+
+    def test_det007_is_scoped_to_core_and_faults(self):
+        assert codes(FIXTURES / "det007" / "elsewhere" / "unscoped.py") == []
+
 
 class TestPragmas:
     def test_justified_pragma_suppresses_and_is_counted(self):
@@ -226,7 +240,7 @@ class TestRegistry:
     def test_rule_codes_are_unique_and_ordered(self):
         rule_codes = [rule_cls.code for rule_cls in RULES]
         assert rule_codes == sorted(set(rule_codes))
-        assert rule_codes == [f"DET00{i}" for i in range(1, 7)]
+        assert rule_codes == [f"DET00{i}" for i in range(1, 8)]
 
     def test_every_rule_documents_itself(self):
         for rule_cls in RULES:

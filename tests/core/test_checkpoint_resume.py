@@ -51,6 +51,28 @@ CRASH_KWARGS = dict(
 FAULT_KWARGS = dict(fault_model="lognormal", fault_seed=7, speculation=True)
 
 
+def gray_kwargs():
+    """A dense gray-failure cocktail: partitions, leases and corruption.
+
+    Rates are cranked far above the defaults so that a kill at any early
+    wave boundary lands mid-episode — leases armed, zombies in flight,
+    quarantines pending — and the resume has real gray state to restore.
+    Built fresh per call because model instances carry RNG streams.
+    """
+    from repro.core.validation import CorruptResultModel
+    from repro.faults import PartitionOutageModel
+
+    return dict(
+        partition_model=PartitionOutageModel(
+            seed=3, rate=0.3, mean_outage_hours=2.0
+        ),
+        lease_timeout=0.05,
+        validation=True,
+        corruption_model=CorruptResultModel(seed=4, rate=0.2),
+        retry_policy=RetryPolicy(),
+    )
+
+
 def run_uninterrupted(seed=9, **extra):
     sampler = make_sampler(seed)
     result = TuningLoop(sampler, **LOOP_KWARGS, **extra).run()
@@ -135,6 +157,26 @@ class TestResumeEquivalence:
         assert kinds.count("submit") + kinds.count("retry") + kinds.count(
             "speculate"
         ) >= n_terminal
+
+    @pytest.mark.parametrize("kill_after", [1, 2, 3])
+    def test_bit_for_bit_with_gray_failures(self, tmp_path, kill_after):
+        """Killed mid-suspicion — armed leases, zombies still in the heap,
+        quarantine retries pending — and resumed bit-for-bit."""
+        ref_sampler, ref_result = run_uninterrupted(**gray_kwargs())
+        loop, result, log, _ = run_killed_and_resumed(
+            tmp_path, kill_after=kill_after, **gray_kwargs()
+        )
+        assert trajectory(loop.sampler) == trajectory(ref_sampler)
+        assert result.wall_clock_hours == ref_result.wall_clock_hours
+        assert result.engine_stats == ref_result.engine_stats
+        # The cocktail actually exercised every gray path.
+        assert result.engine_stats["n_suspected"] > 0
+        assert result.engine_stats["n_zombies_rejected"] > 0
+        assert result.engine_stats["n_quarantined"] > 0
+        # The resumed log carries the new event kinds and they balance.
+        kinds = [e["kind"] for e in EventLog.replay(log)]
+        assert kinds.count("suspect") == kinds.count("lease_fence")
+        assert kinds.count("suspect") >= kinds.count("zombie_rejected")
 
     def test_interrupt_without_checkpoint_path(self, tmp_path):
         with pytest.raises(StudyInterrupted) as excinfo:
@@ -326,6 +368,66 @@ class TestCheckpointIntegrity:
         log.close()
         with pytest.raises(EventLogError, match="no checkpoint"):
             TuningLoop.resume(path)
+
+
+class TestCheckpointRotation:
+    def _killed_study(self, tmp_path, keep, kill_after=4):
+        log = str(tmp_path / "events.jsonl")
+        ckpt = str(tmp_path / "study.ckpt")
+        with pytest.raises(StudyInterrupted):
+            TuningLoop(
+                make_sampler(),
+                event_log=log,
+                checkpoint_path=ckpt,
+                checkpoint_keep=keep,
+                stop_after_waves=kill_after,
+                **LOOP_KWARGS,
+            ).run()
+        return log, ckpt
+
+    def test_snapshots_are_pruned_to_the_newest_k(self, tmp_path):
+        log, ckpt = self._killed_study(tmp_path, keep=2, kill_after=4)
+        snapshots = TuningLoop._snapshots(os.path.abspath(ckpt))
+        assert [os.path.basename(s) for s in snapshots] == [
+            "study.ckpt.w00000003",
+            "study.ckpt.w00000004",
+        ]
+        # The stable name is a hard link to the newest snapshot.
+        assert os.path.samefile(ckpt, snapshots[-1])
+
+    def test_rotation_does_not_disturb_resume(self, tmp_path):
+        ref_sampler, _ = run_uninterrupted()
+        log, _ = self._killed_study(tmp_path, keep=2)
+        loop = TuningLoop.resume(log)
+        loop.run()
+        assert trajectory(loop.sampler) == trajectory(ref_sampler)
+
+    def test_snapshot_history_can_rewind_past_the_newest_wave(self, tmp_path):
+        """Each retained snapshot is itself a valid resume point."""
+        ref_sampler, _ = run_uninterrupted()
+        _, ckpt = self._killed_study(tmp_path, keep=3, kill_after=3)
+        older = TuningLoop._snapshots(os.path.abspath(ckpt))[0]
+        loop = TuningLoop.resume(older)
+        loop.run()
+        assert trajectory(loop.sampler) == trajectory(ref_sampler)
+
+    def test_unbounded_history_without_checkpoint_keep(self, tmp_path):
+        _, ckpt = self._killed_study(tmp_path, keep=None)
+        assert TuningLoop._snapshots(os.path.abspath(ckpt)) == []
+        assert os.path.exists(ckpt)
+
+    def test_kill_between_write_and_rename_is_harmless(self, tmp_path):
+        """A crash after writing ``.tmp`` but before ``os.replace`` leaves
+        the previous checkpoint (and its logged digest) authoritative."""
+        ref_sampler, _ = run_uninterrupted()
+        log, ckpt = self._killed_study(tmp_path, keep=2)
+        # Forge the aftermath of a kill mid-checkpoint: a stale temp file
+        # with garbage next to the intact stable checkpoint.
+        with open(ckpt + ".tmp", "wb") as fh:
+            fh.write(b"half-written checkpoint payload")
+        loop = TuningLoop.resume(log)
+        loop.run()
+        assert trajectory(loop.sampler) == trajectory(ref_sampler)
 
 
 class TestDatastoreWriteAhead:

@@ -134,6 +134,39 @@ def test_obs_bench_gate_is_wired_into_make_and_ci():
     )
 
 
+def test_graydeg_gate_is_wired_into_make_and_ci():
+    """`make bench-graydeg` exists, its runner exists, CI runs it alongside
+    the chaos suite, and the compare gate guards its artifact — a gray-
+    failure retention gate nobody runs guards nothing."""
+    with open(os.path.join(REPO_ROOT, "Makefile")) as fh:
+        makefile = fh.read()
+    assert re.search(r"^bench-graydeg:", makefile, re.MULTILINE)
+    assert "make bench-graydeg" in makefile  # help header documents the target
+    assert os.path.exists(os.path.join(TOOLS_DIR, "run_graydeg_bench.sh"))
+    # The perf-trajectory gate tracks the retention as a guarded ratio.
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", os.path.join(TOOLS_DIR, "bench_compare.py")
+    )
+    bench_compare = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_compare)
+    assert bench_compare.GUARDED["BENCH_GRAYDEG.json"] == {
+        "geomean_retention": "ratio"
+    }
+    baseline = os.path.join(
+        REPO_ROOT, "benchmarks", "baselines", "BENCH_GRAYDEG.json"
+    )
+    assert os.path.exists(baseline), "bench-compare needs a committed baseline"
+
+    with open(os.path.join(REPO_ROOT, ".github", "workflows", "ci.yml")) as fh:
+        ci = fh.read()
+    assert "make bench-graydeg" in ci, "CI must run the gray-failure gate"
+    assert re.search(r"pytest tests/chaos", ci), (
+        "CI must run the chaos suite as its own step"
+    )
+
+
 def test_ci_workflow_is_hardened():
     """Concurrency cancellation, job timeouts and the unit-test version
     matrix — CI hygiene the workflow must not silently lose."""

@@ -55,6 +55,7 @@ GUARDED = {
         "none_model_equivalent": "flag",
     },
     "BENCH_RESILIENCE.json": {"geomean_retention": "ratio"},
+    "BENCH_GRAYDEG.json": {"geomean_retention": "ratio"},
     "BENCH_EVENTLOOP.json": {
         "speedup": "ratio",
         "indexed_events_per_sec": "rate",

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Gray-failure tolerance microbenchmark smoke run: prints per-seed
+# fault-free vs gray-recovered makespans under the composite
+# stall+partition+corruption regime, asserts the geomean makespan
+# retention stays >= 0.7 at equal accepted sample count (liveness leases
+# fence silent workers, zombie reports are rejected, garbage values are
+# quarantined and re-measured), and writes BENCH_GRAYDEG.json
+# (retentions, gray-activity counters) for CI archiving.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest benchmarks/test_bench_graydeg.py -q -s "$@"
